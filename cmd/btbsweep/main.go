@@ -1,0 +1,57 @@
+// Command btbsweep is a standalone Figure 1 tool: it sweeps conventional
+// BTB capacity and prints BTB MPKI per workload.
+//
+// Usage:
+//
+//	btbsweep [-scale small|default|paper] [-workload NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confluence/internal/experiments"
+	"confluence/internal/synth"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
+	workload := flag.String("workload", "", "restrict to one workload profile")
+	flag.Parse()
+
+	sc := experiments.ScaleFromEnv()
+	if *scaleFlag != "" {
+		var ok bool
+		if sc, ok = experiments.ScaleByName(*scaleFlag); !ok {
+			fmt.Fprintf(os.Stderr, "btbsweep: unknown scale %q\n", *scaleFlag)
+			os.Exit(2)
+		}
+	}
+
+	var r *experiments.Runner
+	var err error
+	if *workload != "" {
+		prof, ok := synth.ProfileByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "btbsweep: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		w, berr := synth.Build(prof)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "btbsweep:", berr)
+			os.Exit(1)
+		}
+		r = experiments.NewRunnerFor(sc, []*synth.Workload{w})
+	} else if r, err = experiments.NewRunner(sc); err != nil {
+		fmt.Fprintln(os.Stderr, "btbsweep:", err)
+		os.Exit(1)
+	}
+
+	rows, err := r.Figure1()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btbsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println(experiments.Figure1Table(rows))
+}

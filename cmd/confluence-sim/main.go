@@ -1,0 +1,131 @@
+// Command confluence-sim regenerates the paper's evaluation: every table
+// and figure, printed as text tables in the paper's row/series layout.
+//
+// Usage:
+//
+//	confluence-sim [-scale small|default|paper] [-run fig1,table2,fig6,...] [-v]
+//
+// The default runs everything at the "default" scale (8 cores, 3M
+// instructions per core). REPRO_SCALE overrides the default scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"confluence/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
+	runFlag := flag.String("run", "all", "comma-separated experiments: fig1,table2,fig2,fig6,fig7,fig8,fig9,fig10,ablations,all")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	sc := experiments.ScaleFromEnv()
+	if *scaleFlag != "" {
+		var ok bool
+		if sc, ok = experiments.ScaleByName(*scaleFlag); !ok {
+			fmt.Fprintf(os.Stderr, "confluence-sim: unknown scale %q\n", *scaleFlag)
+			os.Exit(2)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	pick := func(name string) bool { return all || want[name] }
+
+	start := time.Now()
+	fmt.Printf("confluence-sim: scale=%s cores=%d warmup=%d measure=%d (per core)\n\n",
+		sc.Name, sc.Cores, sc.Warmup, sc.Measure)
+
+	r, err := experiments.NewRunner(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	if pick("table2") {
+		rows, err := r.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Table2Table(rows))
+	}
+	if pick("fig1") {
+		rows, err := r.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Figure1Table(rows))
+	}
+	if pick("fig2") {
+		points, err := r.Figure2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.PerfAreaTable("Figure 2: conventional instruction-supply mechanisms", points))
+	}
+	if pick("fig6") {
+		points, err := r.Figure6()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.PerfAreaTable("Figure 6: Confluence vs conventional mechanisms", points))
+	}
+	if pick("fig7") {
+		rows, err := r.Figure7()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Figure7Table(rows))
+	}
+	if pick("fig8") {
+		rows, err := r.Figure8()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Figure8Table(rows))
+	}
+	if pick("fig9") {
+		rows, err := r.Figure9()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Figure9Table(rows))
+	}
+	if pick("fig10") {
+		rows, err := r.Figure10()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.Figure10Table(rows))
+	}
+	if pick("ablations") {
+		rows, err := r.LookaheadSweep([]int{4, 8, 20, 32})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.AblationTable("Ablation: SHIFT lookahead depth (Confluence)", rows))
+		rows, err = r.SharedVsPrivateHistory()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.AblationTable("Ablation: shared vs private SHIFT history (Confluence)", rows))
+	}
+
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confluence-sim:", err)
+	os.Exit(1)
+}

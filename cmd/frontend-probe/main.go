@@ -1,0 +1,88 @@
+// Command frontend-probe runs a handful of design points on one workload
+// and prints per-design IPC and miss rates plus the cycle decomposition —
+// the quickest way to see where a workload's cycles go.
+//
+// Usage:
+//
+//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confluence/internal/core"
+	"confluence/internal/synth"
+	"confluence/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "OLTP-DB2", "workload profile name")
+	cores := flag.Int("cores", 8, "CMP width")
+	instr := flag.Uint64("instr", 1_500_000, "per-core instructions (warmup = measure)")
+	flag.Parse()
+
+	prof, ok := synth.ProfileByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "frontend-probe: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	w, err := synth.Build(prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frontend-probe:", err)
+		os.Exit(1)
+	}
+	ss := w.Prog.StaticStats()
+	fmt.Printf("%s: %d funcs, %dKB, %.2f branches/block\n",
+		prof.Name, len(w.Prog.Funcs), w.Prog.FootprintBytes()>>10, ss.PerBlock)
+
+	// Where do the instructions go? Histogram by call-graph layer, plus the
+	// dynamic working-set rate (distinct new 64B blocks per kilo-instr over
+	// a sliding window) — the quantity that determines L1-I pressure.
+	{
+		ex := trace.NewExecutor(w, 0xd1a9)
+		var rec trace.Record
+		layerInstr := map[int]uint64{}
+		seen := map[uint64]uint64{} // block -> last instruction count seen
+		var reuseFar uint64
+		for ex.Instructions < 2_000_000 {
+			ex.Next(&rec)
+			if bb := w.Prog.BlockAt(rec.Start); bb != nil {
+				layerInstr[bb.Func.Layer] += uint64(rec.N)
+			}
+			blk := uint64(rec.Start) >> 6
+			if last, ok := seen[blk]; !ok || ex.Instructions-last > 100_000 {
+				reuseFar++ // first touch or long-reuse-distance touch
+			}
+			seen[blk] = ex.Instructions
+		}
+		fmt.Printf("instr by layer: ")
+		for l := 0; l < prof.Layers; l++ {
+			fmt.Printf("L%d=%.0f%% ", l, 100*float64(layerInstr[l])/float64(ex.Instructions))
+		}
+		fmt.Printf("\nfar-reuse blocks/kilo-instr: %.1f (L1-I pressure proxy)\n\n",
+			float64(reuseFar)/float64(ex.Instructions)*1000)
+	}
+
+	designs := []core.DesignPoint{
+		core.Base1K, core.FDP1K, core.PhantomFDP, core.TwoLevelFDP,
+		core.TwoLevelSHIFT, core.Confluence, core.Ideal,
+	}
+	fmt.Printf("%-18s %7s %8s %8s | per kilo-instruction: %7s %7s %7s %7s\n",
+		"design", "IPC", "btbMPKI", "l1iMPKI", "L1Istall", "misfet", "bubble", "resolve")
+	opt := core.DefaultOptions()
+	opt.Cores = *cores
+	for _, dp := range designs {
+		sys, err := core.NewSystem(w, dp, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frontend-probe:", err)
+			os.Exit(1)
+		}
+		st := sys.Run(*instr, *instr)
+		k := float64(st.Instructions) / 1000
+		fmt.Printf("%-18s %7.3f %8.1f %8.1f | %29.1f %7.1f %7.1f %7.1f\n",
+			dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI(),
+			st.L1IStallCycles/k, st.MisfetchCycles/k, st.BubbleCycles/k, st.ResolveCycles/k)
+	}
+}

@@ -1,0 +1,133 @@
+// Command tracegen generates synthetic workloads and traces for offline
+// inspection: it can dump workload statistics, write binary basic-block
+// traces, and summarize existing trace files.
+//
+// Usage:
+//
+//	tracegen -workload OLTP-DB2 -stats
+//	tracegen -workload OLTP-DB2 -n 1000000 -o db2.trace
+//	tracegen -summarize db2.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confluence/internal/isa"
+	"confluence/internal/synth"
+	"confluence/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "OLTP-DB2", "workload profile name")
+	n := flag.Uint64("n", 1_000_000, "instructions to trace")
+	out := flag.String("o", "", "output trace file (binary)")
+	seed := flag.Uint64("seed", 1, "executor seed (differentiates cores)")
+	showStats := flag.Bool("stats", false, "print workload statistics and exit")
+	summarize := flag.String("summarize", "", "summarize an existing trace file and exit")
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := summarizeFile(*summarize); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	prof, ok := synth.ProfileByName(*workload)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	w, err := synth.Build(prof)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *showStats {
+		ss := w.Prog.StaticStats()
+		fmt.Printf("workload:          %s\n", prof.Name)
+		fmt.Printf("functions:         %d\n", len(w.Prog.Funcs))
+		fmt.Printf("basic blocks:      %d\n", len(w.Prog.Blocks()))
+		fmt.Printf("footprint:         %d KB\n", w.Prog.FootprintBytes()>>10)
+		fmt.Printf("64B code blocks:   %d\n", w.Prog.NumCacheBlocks())
+		fmt.Printf("static br/block:   %.2f\n", ss.PerBlock)
+		fmt.Printf("conditional frac:  %.2f\n", ss.CondFrac)
+		fmt.Printf("request types:     %d\n", w.NumRequestTypes())
+		return
+	}
+
+	if *out == "" {
+		fatal(fmt.Errorf("need -o FILE (or -stats / -summarize)"))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	exec := trace.NewExecutor(w, *seed)
+	var rec trace.Record
+	for exec.Instructions < *n {
+		exec.Next(&rec)
+		if err := tw.Write(&rec); err != nil {
+			fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d records (%d instructions, %d requests) to %s\n",
+		tw.Count(), exec.Instructions, exec.Requests, *out)
+}
+
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var rec trace.Record
+	var records, instr, branches, taken, requests uint64
+	kinds := make(map[isa.BranchKind]uint64)
+	blocks := make(map[isa.Addr]bool)
+	for {
+		if err := tr.Read(&rec); err != nil {
+			break
+		}
+		records++
+		instr += uint64(rec.N)
+		if rec.ReqBoundary {
+			requests++
+		}
+		if rec.Br.Kind.IsBranch() {
+			branches++
+			kinds[rec.Br.Kind]++
+			if rec.Br.Taken {
+				taken++
+			}
+		}
+		blocks[isa.BlockOf(rec.Start)] = true
+	}
+	fmt.Printf("records:      %d\n", records)
+	fmt.Printf("instructions: %d\n", instr)
+	fmt.Printf("requests:     %d\n", requests)
+	fmt.Printf("branches:     %d (taken %.1f%%)\n", branches, 100*float64(taken)/float64(max(branches, 1)))
+	fmt.Printf("code touched: %d KB\n", len(blocks)*isa.BlockBytes>>10)
+	for k, n := range kinds {
+		fmt.Printf("  %-9s %d\n", k, n)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+// Package confluence is a simulation library reproducing "Confluence:
+// Unified Instruction Supply for Scale-Out Servers" (Kaynak, Grot, Falsafi,
+// MICRO-48, 2015).
+//
+// Confluence is a server-processor frontend that fills both the L1
+// instruction cache and the branch target buffer from a single stream-based
+// prefetcher (SHIFT) whose block-grain control-flow history is shared
+// across cores and virtualized into the LLC. Its BTB, AirBTB, mirrors L1-I
+// content: every block filled into the L1-I is predecoded and its branch
+// targets eagerly installed; evictions stay synchronized.
+//
+// The library bundles everything needed to study the design: a synthetic
+// server-workload generator standing in for the paper's commercial traces,
+// a trace-driven multi-core frontend timing model, all competing designs
+// from the paper's evaluation (conventional/two-level/Phantom BTBs, FDP),
+// an area model, and experiment runners that regenerate every table and
+// figure (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	w, _ := confluence.BuildWorkload("OLTP-DB2")
+//	res, _ := confluence.Run(confluence.Config{
+//		Workload: w,
+//		Design:   confluence.Confluence,
+//		Cores:    8,
+//	})
+//	fmt.Println(res.Stats.IPC())
+package confluence
+
+import (
+	"fmt"
+	"strings"
+
+	"confluence/internal/core"
+	"confluence/internal/experiments"
+	"confluence/internal/frontend"
+	"confluence/internal/synth"
+)
+
+// DesignPoint selects a frontend configuration from the paper's evaluation.
+type DesignPoint = core.DesignPoint
+
+// The design points (see the paper's Figures 2, 6 and 7).
+const (
+	Base1K        = core.Base1K
+	FDP1K         = core.FDP1K
+	PhantomFDP    = core.PhantomFDP
+	TwoLevelFDP   = core.TwoLevelFDP
+	TwoLevelSHIFT = core.TwoLevelSHIFT
+	Base1KSHIFT   = core.Base1KSHIFT
+	PhantomSHIFT  = core.PhantomSHIFT
+	Confluence    = core.Confluence
+	IdealBTBSHIFT = core.IdealBTBSHIFT
+	Ideal         = core.Ideal
+)
+
+// Workload is a generated synthetic server workload.
+type Workload = synth.Workload
+
+// Stats is the measured outcome of a simulation.
+type Stats = frontend.Stats
+
+// Options fine-tunes system assembly (AirBTB geometry, SHIFT sizing, ...).
+type Options = core.Options
+
+// WorkloadNames lists the five server workloads of the paper's suite.
+func WorkloadNames() []string {
+	var names []string
+	for _, p := range synth.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// BuildWorkload generates the named workload (see WorkloadNames).
+// Generation is deterministic; building the same name twice yields
+// identical programs.
+func BuildWorkload(name string) (*Workload, error) {
+	prof, ok := synth.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("confluence: unknown workload %q (have: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+	return synth.Build(prof)
+}
+
+// BuildAllWorkloads generates the full suite.
+func BuildAllWorkloads() ([]*Workload, error) {
+	var ws []*Workload
+	for _, name := range WorkloadNames() {
+		w, err := BuildWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// Config describes one simulation.
+type Config struct {
+	Workload *Workload
+	Design   DesignPoint
+	// Cores is the CMP width (default 16, the paper's configuration).
+	Cores int
+	// WarmupInstr/MeasureInstr are per-core instruction counts (defaults:
+	// 1.5M each).
+	WarmupInstr  uint64
+	MeasureInstr uint64
+	// Tuning, optional: zero value uses the paper's configuration.
+	Options Options
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Config Config
+	Stats  *Stats
+	// OverheadMM2 and RelativeArea place the design on the paper's
+	// performance/area plane.
+	OverheadMM2  float64
+	RelativeArea float64
+}
+
+// Run assembles and simulates one design point.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("confluence: Config.Workload is required")
+	}
+	opt := cfg.Options
+	if opt.Cores == 0 {
+		opt = core.DefaultOptions()
+	}
+	if cfg.Cores > 0 {
+		opt.Cores = cfg.Cores
+	}
+	if cfg.WarmupInstr == 0 {
+		cfg.WarmupInstr = 1_500_000
+	}
+	if cfg.MeasureInstr == 0 {
+		cfg.MeasureInstr = 1_500_000
+	}
+	sys, err := core.NewSystem(cfg.Workload, cfg.Design, opt)
+	if err != nil {
+		return nil, err
+	}
+	st := sys.Run(cfg.WarmupInstr, cfg.MeasureInstr)
+	return &Result{
+		Config:       cfg,
+		Stats:        st,
+		OverheadMM2:  sys.OverheadMM2,
+		RelativeArea: sys.RelativeArea,
+	}, nil
+}
+
+// Compare runs several design points on one workload and returns speedups
+// relative to the first design in the list.
+func Compare(w *Workload, designs []DesignPoint, cores int) (map[DesignPoint]float64, error) {
+	if len(designs) == 0 {
+		return nil, fmt.Errorf("confluence: no designs to compare")
+	}
+	speedups := make(map[DesignPoint]float64, len(designs))
+	var baseIPC float64
+	for i, dp := range designs {
+		res, err := Run(Config{Workload: w, Design: dp, Cores: cores})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			baseIPC = res.Stats.IPC()
+		}
+		speedups[dp] = res.Stats.IPC() / baseIPC
+	}
+	return speedups, nil
+}
+
+// Experiments exposes the paper's table/figure runners at a given scale
+// name ("small", "default", "paper"); see package
+// confluence/internal/experiments for the individual runners.
+func Experiments(scale string) (*experiments.Runner, error) {
+	sc, ok := experiments.ScaleByName(scale)
+	if !ok {
+		sc = experiments.Default
+	}
+	return experiments.NewRunner(sc)
+}

@@ -1,0 +1,102 @@
+package confluence
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 5 {
+		t.Fatalf("suite lists %d workloads", len(names))
+	}
+	for _, want := range []string{"OLTP-DB2", "OLTP-Oracle", "DSS-Qrys", "Media-Streaming", "Web-Frontend"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+}
+
+func TestBuildWorkloadUnknown(t *testing.T) {
+	_, err := BuildWorkload("SAP-HANA")
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "OLTP-DB2") {
+		t.Errorf("error should list available workloads: %v", err)
+	}
+}
+
+func TestRunRequiresWorkload(t *testing.T) {
+	if _, err := Run(Config{Design: Confluence}); err == nil {
+		t.Error("nil workload accepted")
+	}
+}
+
+func TestRunWithDefaults(t *testing.T) {
+	w, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Workload: w, Design: Base1K, Cores: 2,
+		WarmupInstr: 20_000, MeasureInstr: 50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IPC() <= 0 {
+		t.Error("no IPC")
+	}
+	if res.RelativeArea != 1.0 {
+		t.Errorf("baseline relative area = %v", res.RelativeArea)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	w, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: Compare at default instruction counts would be slow; keep the
+	// design list short and rely on the library defaults being modest.
+	speedups, err := Compare(w, []DesignPoint{Base1K, Ideal}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedups[Base1K] != 1.0 {
+		t.Errorf("baseline speedup = %v", speedups[Base1K])
+	}
+	if speedups[Ideal] <= 1.0 {
+		t.Errorf("Ideal speedup = %v", speedups[Ideal])
+	}
+	if _, err := Compare(w, nil, 2); err == nil {
+		t.Error("empty design list accepted")
+	}
+}
+
+func TestExperimentsFactory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full suite")
+	}
+	r, err := Experiments("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale.Name != "small" {
+		t.Errorf("scale = %q", r.Scale.Name)
+	}
+	r2, err := Experiments("unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Scale.Name != "default" {
+		t.Errorf("fallback scale = %q", r2.Scale.Name)
+	}
+}

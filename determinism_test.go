@@ -1,0 +1,57 @@
+package confluence
+
+import "testing"
+
+// TestRunDeterminism pins the whole stack end to end: identical configs
+// must reproduce cycle-exact results (workload generation, execution,
+// prediction, prefetching, and timing are all seeded).
+func TestRunDeterminism(t *testing.T) {
+	run := func() *Result {
+		w, err := BuildWorkload("Media-Streaming")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Workload: w, Design: Confluence, Cores: 2,
+			WarmupInstr: 50_000, MeasureInstr: 100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats.Cycles != b.Stats.Cycles {
+		t.Errorf("cycles diverged: %v vs %v", a.Stats.Cycles, b.Stats.Cycles)
+	}
+	if a.Stats.BTBMisses != b.Stats.BTBMisses || a.Stats.L1IMisses != b.Stats.L1IMisses {
+		t.Errorf("miss counts diverged")
+	}
+	if a.Stats.PrefIssued != b.Stats.PrefIssued {
+		t.Errorf("prefetch streams diverged")
+	}
+}
+
+// TestDesignPointsDifferentiate ensures distinct designs actually produce
+// distinct machines (a regression guard against wiring mistakes that
+// silently fall back to a default design).
+func TestDesignPointsDifferentiate(t *testing.T) {
+	w, err := BuildWorkload("Media-Streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[float64]DesignPoint{}
+	for _, dp := range []DesignPoint{Base1K, FDP1K, TwoLevelFDP, Confluence} {
+		res, err := Run(Config{
+			Workload: w, Design: dp, Cores: 2,
+			WarmupInstr: 50_000, MeasureInstr: 100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := cycles[res.Stats.Cycles]; dup {
+			t.Errorf("%v and %v produced identical cycle counts (%v)", prev, dp, res.Stats.Cycles)
+		}
+		cycles[res.Stats.Cycles] = dp
+	}
+}

@@ -1,0 +1,58 @@
+// BTB design space: walks the capacity sweep of Figure 1 and the AirBTB
+// bundle/overflow sensitivity of Figure 10 on one workload, using the
+// library's Options to size structures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"confluence"
+	"confluence/internal/airbtb"
+	"confluence/internal/core"
+)
+
+func main() {
+	w, err := confluence.BuildWorkload("Web-Frontend")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Conventional BTB capacity sweep (Web-Frontend, no prefetch):")
+	base := 0.0
+	for _, entries := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
+		opt := core.DefaultOptions()
+		opt.SweepBTBEntries = entries
+		res, err := confluence.Run(confluence.Config{
+			Workload: w, Design: core.SweepBTB, Cores: 4, Options: opt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if entries == 1024 {
+			base = res.Stats.BTBMPKI()
+		}
+		fmt.Printf("  %6d entries: %6.2f MPKI (%5.1f%% of 1K's misses eliminated)\n",
+			entries, res.Stats.BTBMPKI(), 100*(1-res.Stats.BTBMPKI()/base))
+	}
+
+	fmt.Println("\nAirBTB sensitivity (B = entries/bundle, OB = overflow entries):")
+	for _, cfg := range []airbtb.Config{
+		{Bundles: 512, EntriesPerBundle: 3, OverflowEntries: 0},
+		{Bundles: 512, EntriesPerBundle: 3, OverflowEntries: 32},
+		{Bundles: 512, EntriesPerBundle: 4, OverflowEntries: 0},
+		{Bundles: 512, EntriesPerBundle: 4, OverflowEntries: 32},
+	} {
+		opt := core.DefaultOptions()
+		opt.Air = cfg
+		res, err := confluence.Run(confluence.Config{
+			Workload: w, Design: confluence.Confluence, Cores: 4, Options: opt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  B:%d OB:%-3d -> %6.2f MPKI, %4.1f KB of storage\n",
+			cfg.EntriesPerBundle, cfg.OverflowEntries,
+			res.Stats.BTBMPKI(), float64(cfg.StorageBits())/8/1024)
+	}
+}

@@ -1,0 +1,49 @@
+// Prefetcher comparison: no prefetch vs fetch-directed prefetching vs
+// SHIFT on the media-streaming workload — the L1-I side of the paper's
+// story (§2.1-2.2): FDP's lookahead is limited and collapses on redirects;
+// stream-based prefetching runs ahead autonomously.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"confluence"
+)
+
+func main() {
+	w, err := confluence.BuildWorkload("Media-Streaming")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name   string
+		design confluence.DesignPoint
+	}
+	rows := []row{
+		{"no prefetch", confluence.Base1K},
+		{"FDP", confluence.FDP1K},
+		{"SHIFT", confluence.Base1KSHIFT},
+	}
+
+	fmt.Printf("%-14s %8s %10s %12s %14s\n",
+		"prefetcher", "IPC", "L1-I MPKI", "pref issued", "pref useful")
+	var base float64
+	for i, r := range rows {
+		res, err := confluence.Run(confluence.Config{Workload: w, Design: r.design, Cores: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		if i == 0 {
+			base = st.L1IMPKI()
+		}
+		fmt.Printf("%-14s %8.3f %10.1f %12d %14d\n",
+			r.name, st.IPC(), st.L1IMPKI(), st.PrefIssued, st.PrefUseful)
+		if i > 0 {
+			fmt.Printf("%14s coverage of baseline L1-I misses: %.0f%%\n",
+				"", 100*(1-st.L1IMPKI()/base))
+		}
+	}
+}

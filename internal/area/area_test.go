@@ -1,0 +1,94 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationPoints(t *testing.T) {
+	// The model must reproduce the paper's published CACTI numbers at its
+	// calibration points.
+	if got := SRAM(10138); math.Abs(got-0.08) > 0.005 {
+		t.Errorf("9.9KB -> %.4f mm², paper says 0.08", got)
+	}
+	if got := SRAM(140 << 10); math.Abs(got-0.60) > 0.01 {
+		t.Errorf("140KB -> %.4f mm², paper says 0.60", got)
+	}
+}
+
+func TestAirBTBAreaMatchesPaper(t *testing.T) {
+	// AirBTB's 10.2KB should land at ~0.08 mm² (paper §4.2.2).
+	got := SRAM(10445)
+	if math.Abs(got-0.08) > 0.01 {
+		t.Errorf("10.2KB -> %.4f mm², paper says ~0.08", got)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	prev := 0.0
+	for _, kb := range []int{1, 4, 16, 64, 256, 1024} {
+		got := SRAM(kb << 10)
+		if got <= prev {
+			t.Fatalf("area not increasing at %d KB", kb)
+		}
+		prev = got
+	}
+	if SRAM(0) != 0 || SRAM(-5) != 0 {
+		t.Error("non-positive sizes must cost nothing")
+	}
+}
+
+func TestSRAMBits(t *testing.T) {
+	if SRAMBits(8*1024) != SRAM(1024) {
+		t.Error("SRAMBits conversion wrong")
+	}
+}
+
+func TestConventionalBTBBits(t *testing.T) {
+	// 1K entries, 4-way: tag = 46-8 = 38 bits; payload 37 -> 75 bits/entry.
+	bits := ConventionalBTBBits(1024, 4)
+	if bits != 1024*75 {
+		t.Errorf("1K-entry BTB = %d bits, want %d", bits, 1024*75)
+	}
+	// Bigger structures have smaller tags.
+	perEntry16K := ConventionalBTBBits(16<<10, 8) / (16 << 10)
+	if perEntry16K >= 75 {
+		t.Errorf("16K-entry per-entry bits = %d, want < 75", perEntry16K)
+	}
+	if ConventionalBTBBits(0, 4) != 0 {
+		t.Error("zero entries must cost nothing")
+	}
+}
+
+func TestBaselineBTBNearPaperSize(t *testing.T) {
+	// 1K-entry BTB + 64-entry victim buffer ≈ 9.9KB (paper §4.2.2).
+	bits := ConventionalBTBBits(1024, 4) + VictimBufferBits(64)
+	kb := float64(bits) / 8 / 1024
+	if kb < 9 || kb > 11 {
+		t.Errorf("baseline BTB = %.2f KB, paper says 9.9", kb)
+	}
+}
+
+func TestTwoLevelBTBNearPaperSize(t *testing.T) {
+	// 16K-entry second level ≈ 140KB (paper §2.3).
+	kb := float64(ConventionalBTBBits(16<<10, 8)) / 8 / 1024
+	if kb < 125 || kb > 150 {
+		t.Errorf("16K-entry BTB = %.1f KB, paper says ~140", kb)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	if Relative(0) != 1.0 {
+		t.Error("zero overhead must be relative area 1.0")
+	}
+	if got := Relative(CoreMM2); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("Relative(core) = %v", got)
+	}
+}
+
+func TestShiftPerCore(t *testing.T) {
+	// 0.96 mm² across 16 cores (paper §4.2.1).
+	if math.Abs(ShiftPerCoreMM2*16-0.96) > 1e-9 {
+		t.Errorf("SHIFT chip-wide = %v", ShiftPerCoreMM2*16)
+	}
+}

@@ -1,0 +1,24 @@
+package bpu
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+// BenchmarkHybridPredictAndUpdate measures the direction-predictor hot path.
+func BenchmarkHybridPredictAndUpdate(b *testing.B) {
+	h := NewHybrid(16 << 10)
+	rng := rand.New(rand.NewPCG(1, 1))
+	pcs := make([]isa.Addr, 1024)
+	outcomes := make([]bool, 1024)
+	for i := range pcs {
+		pcs[i] = isa.Addr(0x10000 + i*8)
+		outcomes[i] = rng.Float64() < 0.9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.PredictAndUpdate(pcs[i&1023], outcomes[i&1023])
+	}
+}

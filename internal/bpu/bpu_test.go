@@ -1,0 +1,203 @@
+package bpu
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := isa.Addr(0x1000)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal failed to learn always-taken")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("bimodal failed to relearn not-taken")
+	}
+}
+
+func TestBimodalHysteresis(t *testing.T) {
+	b := NewBimodal(64)
+	pc := isa.Addr(0x40)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	b.Update(pc, false) // single anomaly must not flip a saturated counter
+	if !b.Predict(pc) {
+		t.Error("2-bit counter flipped on one anomaly")
+	}
+}
+
+func TestGShareLearnsAlternatingPattern(t *testing.T) {
+	g := NewGShare(4096, 10)
+	pc := isa.Addr(0x2000)
+	// Alternating T/N is invisible to bimodal but trivial under history.
+	outcome := func(i int) bool { return i%2 == 0 }
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, outcome(i))
+	}
+	correct := 0
+	for i := 2000; i < 3000; i++ {
+		if g.Predict(pc) == outcome(i) {
+			correct++
+		}
+		g.Update(pc, outcome(i))
+	}
+	if correct < 950 {
+		t.Errorf("gshare got %d/1000 on an alternating pattern", correct)
+	}
+}
+
+func TestHybridBeatsBimodalOnPatterns(t *testing.T) {
+	h := NewHybrid(4096)
+	pc := isa.Addr(0x3000)
+	// Period-3 pattern: T T N ...
+	outcome := func(i int) bool { return i%3 != 2 }
+	var misses uint64
+	for i := 0; i < 6000; i++ {
+		_, correct := h.PredictAndUpdate(pc, outcome(i))
+		if i >= 3000 && !correct {
+			misses++
+		}
+	}
+	if misses > 300 { // bimodal alone would miss ~1000
+		t.Errorf("hybrid missed %d/3000 on a period-3 pattern", misses)
+	}
+}
+
+func TestHybridOnBiasedRandom(t *testing.T) {
+	h := NewHybrid(16 << 10)
+	rng := rand.New(rand.NewPCG(5, 5))
+	var misses, n uint64
+	for i := 0; i < 40000; i++ {
+		pc := isa.Addr(0x4000 + (i%200)*4)
+		taken := rng.Float64() < 0.97
+		_, correct := h.PredictAndUpdate(pc, taken)
+		if i > 10000 {
+			n++
+			if !correct {
+				misses++
+			}
+		}
+	}
+	rate := float64(misses) / float64(n)
+	if rate > 0.06 {
+		t.Errorf("mispredict rate %.1f%% on 97%%-biased branches", 100*rate)
+	}
+}
+
+func TestHybridStats(t *testing.T) {
+	h := NewHybrid(64)
+	h.PredictAndUpdate(0x40, true)
+	h.PredictAndUpdate(0x40, true)
+	s := h.Stats()
+	if s.Lookups != 2 {
+		t.Errorf("Lookups = %d", s.Lookups)
+	}
+	if acc := s.Accuracy(); acc < 0 || acc > 1 {
+		t.Errorf("Accuracy = %v", acc)
+	}
+	h.ResetStats()
+	if h.Stats().Lookups != 0 {
+		t.Error("ResetStats failed")
+	}
+	if (DirStats{}).Accuracy() != 1 {
+		t.Error("empty stats should report perfect accuracy")
+	}
+}
+
+func TestRASMatchesCallReturn(t *testing.T) {
+	r := NewRAS(8)
+	addrs := []isa.Addr{0x100, 0x200, 0x300}
+	for _, a := range addrs {
+		r.Push(a)
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		got, ok := r.Pop()
+		if !ok || got != addrs[i] {
+			t.Fatalf("Pop = %#x, %v; want %#x", got, ok, addrs[i])
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS returned a value")
+	}
+}
+
+func TestRASOverflowWrapsLosingOldest(t *testing.T) {
+	r := NewRAS(4)
+	for i := 1; i <= 6; i++ { // two more than capacity
+		r.Push(isa.Addr(i * 0x10))
+	}
+	if r.Depth() != 4 {
+		t.Errorf("Depth = %d", r.Depth())
+	}
+	// Pops return the newest four; the two oldest are gone.
+	want := []isa.Addr{0x60, 0x50, 0x40, 0x30}
+	for _, w := range want {
+		got, ok := r.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop = %#x, want %#x", got, w)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("RAS returned an overwritten frame")
+	}
+}
+
+func TestITC(t *testing.T) {
+	c := NewITC(256)
+	pc := isa.Addr(0x5000)
+	if _, ok := c.Predict(pc); ok {
+		t.Error("cold ITC predicted")
+	}
+	c.Update(pc, 0x6000)
+	got, ok := c.Predict(pc)
+	if !ok || got != 0x6000 {
+		t.Errorf("Predict = %#x, %v", got, ok)
+	}
+	c.Update(pc, 0x7000)
+	if got, _ := c.Predict(pc); got != 0x7000 {
+		t.Error("ITC did not track the latest target")
+	}
+}
+
+func TestITCConflicts(t *testing.T) {
+	c := NewITC(16)
+	a := isa.Addr(0x100)
+	b := a + 16*4 // same index, different tag
+	c.Update(a, 0x1)
+	c.Update(b, 0x2)
+	if _, ok := c.Predict(a); ok {
+		t.Error("direct-mapped conflict should have evicted the first entry")
+	}
+	if got, ok := c.Predict(b); !ok || got != 0x2 {
+		t.Error("second entry lost")
+	}
+}
+
+func TestSizePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBimodal(100) },
+		func() { NewGShare(0, 4) },
+		func() { NewHybrid(-4) },
+		func() { NewITC(3) },
+		func() { NewRAS(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad size did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,172 @@
+// Package bpu implements the branch prediction unit's direction and target
+// predictors: bimodal and gshare tables combined by a meta selector (the
+// paper's hybrid predictor), a 64-entry return address stack, and a
+// 1K-entry indirect target cache.
+package bpu
+
+import "confluence/internal/isa"
+
+// counter2 is a 2-bit saturating counter; >=2 predicts taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// DirStats counts conditional-branch prediction outcomes.
+type DirStats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (s DirStats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Lookups)
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+}
+
+// NewBimodal creates a bimodal predictor with entries (power of two).
+func NewBimodal(entries int) *Bimodal {
+	checkPow2("bpu: bimodal", entries)
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+func (b *Bimodal) index(pc isa.Addr) uint64 { return (uint64(pc) >> 2) & b.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc isa.Addr) bool { return b.table[b.index(pc)].taken() }
+
+// Update trains the predictor with the resolved direction.
+func (b *Bimodal) Update(pc isa.Addr, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// GShare xors global history into the table index.
+type GShare struct {
+	table    []counter2
+	mask     uint64
+	hist     uint64
+	histBits uint
+}
+
+// NewGShare creates a gshare predictor with entries (power of two) and
+// histBits of global history.
+func NewGShare(entries int, histBits uint) *GShare {
+	checkPow2("bpu: gshare", entries)
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 1
+	}
+	return &GShare{table: t, mask: uint64(entries - 1), histBits: histBits}
+}
+
+func (g *GShare) index(pc isa.Addr) uint64 {
+	return ((uint64(pc) >> 2) ^ g.hist) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc under the
+// current global history.
+func (g *GShare) Predict(pc isa.Addr) bool { return g.table[g.index(pc)].taken() }
+
+// Update trains the table and shifts the outcome into global history.
+func (g *GShare) Update(pc isa.Addr, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.hist <<= 1
+	if taken {
+		g.hist |= 1
+	}
+	g.hist &= (1 << g.histBits) - 1
+}
+
+// Hybrid combines bimodal and gshare with a meta selector, the paper's
+// "16K-entry gShare, Bimodal, Meta selector" configuration.
+type Hybrid struct {
+	bim   *Bimodal
+	gsh   *GShare
+	meta  []counter2 // >=2 selects gshare
+	mask  uint64
+	stats DirStats
+}
+
+// NewHybrid creates the hybrid predictor; entries sizes each component.
+func NewHybrid(entries int) *Hybrid {
+	checkPow2("bpu: hybrid", entries)
+	meta := make([]counter2, entries)
+	for i := range meta {
+		meta[i] = 2 // weakly prefer gshare
+	}
+	return &Hybrid{
+		bim:  NewBimodal(entries),
+		gsh:  NewGShare(entries, 14),
+		meta: meta,
+		mask: uint64(entries - 1),
+	}
+}
+
+// Predict returns the selected component's direction prediction.
+func (h *Hybrid) Predict(pc isa.Addr) bool {
+	if h.meta[(uint64(pc)>>2)&h.mask].taken() {
+		return h.gsh.Predict(pc)
+	}
+	return h.bim.Predict(pc)
+}
+
+// PredictAndUpdate predicts, trains all tables with the outcome, and
+// reports whether the prediction was correct.
+func (h *Hybrid) PredictAndUpdate(pc isa.Addr, taken bool) (predicted, correct bool) {
+	bp := h.bim.Predict(pc)
+	gp := h.gsh.Predict(pc)
+	mi := (uint64(pc) >> 2) & h.mask
+	useG := h.meta[mi].taken()
+	predicted = bp
+	if useG {
+		predicted = gp
+	}
+	correct = predicted == taken
+	// Meta trains toward the component that was right when they disagree.
+	if bp != gp {
+		h.meta[mi] = h.meta[mi].update(gp == taken)
+	}
+	h.bim.Update(pc, taken)
+	h.gsh.Update(pc, taken)
+	h.stats.Lookups++
+	if !correct {
+		h.stats.Mispredicts++
+	}
+	return predicted, correct
+}
+
+// Stats returns the counters; ResetStats zeroes them.
+func (h *Hybrid) Stats() DirStats { return h.stats }
+func (h *Hybrid) ResetStats()     { h.stats = DirStats{} }
+
+func checkPow2(what string, n int) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(what + ": size must be a positive power of two")
+	}
+}

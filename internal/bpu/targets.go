@@ -1,0 +1,90 @@
+package bpu
+
+import "confluence/internal/isa"
+
+// RAS is the return address stack: a fixed-depth circular stack that wraps
+// (overwriting the oldest frame) on overflow, as hardware RASes do.
+type RAS struct {
+	buf   []isa.Addr
+	top   int // index of the current top (valid when depth > 0)
+	depth int
+
+	Pushes, Pops, Mispredicts uint64
+}
+
+// NewRAS creates a return address stack with the given capacity.
+func NewRAS(capacity int) *RAS {
+	if capacity <= 0 {
+		panic("bpu: RAS capacity must be positive")
+	}
+	return &RAS{buf: make([]isa.Addr, capacity), top: -1}
+}
+
+// Push records a return address (on calls).
+func (r *RAS) Push(ret isa.Addr) {
+	r.top = (r.top + 1) % len(r.buf)
+	r.buf[r.top] = ret
+	if r.depth < len(r.buf) {
+		r.depth++
+	}
+	r.Pushes++
+}
+
+// Pop predicts the return target; ok is false when the stack is empty.
+func (r *RAS) Pop() (isa.Addr, bool) {
+	r.Pops++
+	if r.depth == 0 {
+		return 0, false
+	}
+	a := r.buf[r.top]
+	r.top--
+	if r.top < 0 {
+		r.top = len(r.buf) - 1
+	}
+	r.depth--
+	return a, true
+}
+
+// Depth returns the current stack depth.
+func (r *RAS) Depth() int { return r.depth }
+
+// ITC is the indirect target cache: a direct-mapped, tagged table mapping a
+// branch PC to its last observed target.
+type ITC struct {
+	tags    []isa.Addr
+	targets []isa.Addr
+	valid   []bool
+	mask    uint64
+
+	Lookups, Hits, Correct uint64
+}
+
+// NewITC creates an indirect target cache with entries (power of two).
+func NewITC(entries int) *ITC {
+	checkPow2("bpu: ITC", entries)
+	return &ITC{
+		tags:    make([]isa.Addr, entries),
+		targets: make([]isa.Addr, entries),
+		valid:   make([]bool, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+func (c *ITC) index(pc isa.Addr) uint64 { return (uint64(pc) >> 2) & c.mask }
+
+// Predict returns the cached target for the indirect branch at pc.
+func (c *ITC) Predict(pc isa.Addr) (isa.Addr, bool) {
+	c.Lookups++
+	i := c.index(pc)
+	if c.valid[i] && c.tags[i] == pc {
+		c.Hits++
+		return c.targets[i], true
+	}
+	return 0, false
+}
+
+// Update installs the resolved target; call after every indirect branch.
+func (c *ITC) Update(pc, target isa.Addr) {
+	i := c.index(pc)
+	c.tags[i], c.targets[i], c.valid[i] = pc, target, true
+}

@@ -1,0 +1,136 @@
+package cache
+
+import "fmt"
+
+// Assoc is a set-associative, true-LRU key/value store. It backs every
+// tagged predictor structure in the simulator (BTB levels, PhantomBTB's
+// virtualized group store) the way Cache backs plain presence tracking.
+type Assoc[V any] struct {
+	sets, ways int
+	keys       []uint64
+	vals       []V
+	valid      []bool
+	stats      Stats
+}
+
+// NewAssoc creates a store with sets (power of two) and ways.
+func NewAssoc[V any](sets, ways int) *Assoc[V] {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: assoc sets must be a positive power of two, got %d", sets))
+	}
+	if ways <= 0 {
+		panic("cache: assoc ways must be positive")
+	}
+	return &Assoc[V]{
+		sets:  sets,
+		ways:  ways,
+		keys:  make([]uint64, sets*ways),
+		vals:  make([]V, sets*ways),
+		valid: make([]bool, sets*ways),
+	}
+}
+
+// Capacity returns sets*ways; Sets and Ways the geometry.
+func (a *Assoc[V]) Capacity() int { return a.sets * a.ways }
+func (a *Assoc[V]) Sets() int     { return a.sets }
+func (a *Assoc[V]) Ways() int     { return a.ways }
+
+// Stats returns access counters; ResetStats zeroes them.
+func (a *Assoc[V]) Stats() Stats { return a.stats }
+func (a *Assoc[V]) ResetStats()  { a.stats.Reset() }
+
+func (a *Assoc[V]) set(key uint64) int { return int(key) & (a.sets - 1) }
+
+// Lookup probes for key, refreshing LRU on hit.
+func (a *Assoc[V]) Lookup(key uint64) (V, bool) {
+	base := a.set(key) * a.ways
+	for i := 0; i < a.ways; i++ {
+		if a.valid[base+i] && a.keys[base+i] == key {
+			v := a.vals[base+i]
+			a.touch(base, i)
+			a.stats.Hits++
+			return v, true
+		}
+	}
+	var zero V
+	a.stats.Misses++
+	return zero, false
+}
+
+// Contains probes without LRU or counter updates.
+func (a *Assoc[V]) Contains(key uint64) bool {
+	base := a.set(key) * a.ways
+	for i := 0; i < a.ways; i++ {
+		if a.valid[base+i] && a.keys[base+i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Assoc[V]) touch(base, i int) {
+	if i == 0 {
+		return
+	}
+	k, v := a.keys[base+i], a.vals[base+i]
+	copy(a.keys[base+1:base+i+1], a.keys[base:base+i])
+	copy(a.vals[base+1:base+i+1], a.vals[base:base+i])
+	a.keys[base], a.vals[base] = k, v
+}
+
+// Insert puts (key, val) at MRU, overwriting a present key in place, and
+// returns any displaced entry.
+func (a *Assoc[V]) Insert(key uint64, val V) (evKey uint64, evVal V, evicted bool) {
+	base := a.set(key) * a.ways
+	for i := 0; i < a.ways; i++ {
+		if a.valid[base+i] && a.keys[base+i] == key {
+			a.vals[base+i] = val
+			a.touch(base, i)
+			return 0, evVal, false
+		}
+	}
+	a.stats.Insertions++
+	victim := -1
+	for i := 0; i < a.ways; i++ {
+		if !a.valid[base+i] {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = a.ways - 1
+		evKey, evVal, evicted = a.keys[base+victim], a.vals[base+victim], true
+		a.stats.Evictions++
+	}
+	copy(a.keys[base+1:base+victim+1], a.keys[base:base+victim])
+	copy(a.vals[base+1:base+victim+1], a.vals[base:base+victim])
+	copy(a.valid[base+1:base+victim+1], a.valid[base:base+victim])
+	a.keys[base], a.vals[base], a.valid[base] = key, val, true
+	return evKey, evVal, evicted
+}
+
+// Invalidate removes key, reporting whether it was present.
+func (a *Assoc[V]) Invalidate(key uint64) bool {
+	base := a.set(key) * a.ways
+	for i := 0; i < a.ways; i++ {
+		if a.valid[base+i] && a.keys[base+i] == key {
+			copy(a.keys[base+i:base+a.ways-1], a.keys[base+i+1:base+a.ways])
+			copy(a.vals[base+i:base+a.ways-1], a.vals[base+i+1:base+a.ways])
+			copy(a.valid[base+i:base+a.ways-1], a.valid[base+i+1:base+a.ways])
+			a.valid[base+a.ways-1] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of valid entries.
+func (a *Assoc[V]) Len() int {
+	n := 0
+	for _, v := range a.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

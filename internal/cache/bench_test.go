@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkCacheLookupHit measures the L1-I hot path.
+func BenchmarkCacheLookupHit(b *testing.B) {
+	c := New(128, 4) // L1-I geometry
+	keys := make([]uint64, 512)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 16
+		c.Insert(keys[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(keys[i&511])
+	}
+}
+
+// BenchmarkCacheInsertEvict measures steady-state replacement.
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := New(128, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i))
+	}
+}
+
+// BenchmarkAssocLookup measures the BTB hot path.
+func BenchmarkAssocLookup(b *testing.B) {
+	a := NewAssoc[uint64](256, 4)
+	for i := uint64(0); i < 1024; i++ {
+		a.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Lookup(uint64(i) & 1023)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cache provides the set-associative cache model used for the L1-I
+// and the LLC, plus the small fully-associative victim buffer used by the
+// baseline BTB and an in-flight fill table for prefetch timeliness tracking.
+//
+// Caches here track only presence (tags), not data: the simulator reads
+// instruction bytes straight from the program image, so content correctness
+// is never at stake — only hit/miss behaviour and replacement.
+package cache
+
+import "fmt"
+
+// Stats counts accesses. Misses includes cold misses.
+type Stats struct {
+	Hits, Misses uint64
+	Insertions   uint64
+	Evictions    uint64
+}
+
+// Accesses returns total lookups.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// Reset zeroes the counters (used at the warmup/measure boundary).
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Cache is a set-associative tag store with true-LRU replacement, keyed by
+// opaque uint64 keys (block addresses or BTB tags).
+type Cache struct {
+	sets  int
+	ways  int
+	keys  []uint64 // sets*ways, LRU-ordered within a set: index 0 = MRU
+	valid []bool
+	stats Stats
+}
+
+// New creates a cache with the given number of sets (power of two) and ways.
+func New(sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets must be a positive power of two, got %d", sets))
+	}
+	if ways <= 0 {
+		panic("cache: ways must be positive")
+	}
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		keys:  make([]uint64, sets*ways),
+		valid: make([]bool, sets*ways),
+	}
+}
+
+// NewBytes creates a cache sized in bytes for a given block size.
+func NewBytes(totalBytes, ways, blockBytes int) *Cache {
+	blocks := totalBytes / blockBytes
+	return New(blocks/ways, ways)
+}
+
+// Sets and Ways report geometry; Capacity the total entry count.
+func (c *Cache) Sets() int     { return c.sets }
+func (c *Cache) Ways() int     { return c.ways }
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// Stats returns a copy of the counters; ResetStats zeroes them.
+func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) ResetStats()  { c.stats.Reset() }
+
+func (c *Cache) set(key uint64) int { return int(key) & (c.sets - 1) }
+
+// Lookup probes for key, updating LRU and counters on the access.
+func (c *Cache) Lookup(key uint64) bool {
+	base := c.set(key) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.keys[base+i] == key {
+			c.touch(base, i)
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains probes without updating LRU or counters.
+func (c *Cache) Contains(key uint64) bool {
+	base := c.set(key) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.keys[base+i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// touch moves way i of the set at base to MRU position.
+func (c *Cache) touch(base, i int) {
+	if i == 0 {
+		return
+	}
+	k := c.keys[base+i]
+	copy(c.keys[base+1:base+i+1], c.keys[base:base+i])
+	c.keys[base] = k
+	// valid[0..i] are all true when touching a hit way.
+}
+
+// Insert places key at MRU, returning the evicted key if a valid entry was
+// displaced. Inserting a present key refreshes its LRU position.
+func (c *Cache) Insert(key uint64) (evicted uint64, wasEvicted bool) {
+	base := c.set(key) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.keys[base+i] == key {
+			c.touch(base, i)
+			return 0, false
+		}
+	}
+	c.stats.Insertions++
+	// Use an invalid way if any.
+	victimIdx := -1
+	for i := 0; i < c.ways; i++ {
+		if !c.valid[base+i] {
+			victimIdx = i
+			break
+		}
+	}
+	if victimIdx == -1 {
+		victimIdx = c.ways - 1
+		evicted = c.keys[base+victimIdx]
+		wasEvicted = true
+		c.stats.Evictions++
+	}
+	// Shift down to make room at MRU.
+	copy(c.keys[base+1:base+victimIdx+1], c.keys[base:base+victimIdx])
+	copy(c.valid[base+1:base+victimIdx+1], c.valid[base:base+victimIdx])
+	c.keys[base] = key
+	c.valid[base] = true
+	return evicted, wasEvicted
+}
+
+// Invalidate removes key if present, returning whether it was.
+func (c *Cache) Invalidate(key uint64) bool {
+	base := c.set(key) * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.keys[base+i] == key {
+			copy(c.keys[base+i:base+c.ways-1], c.keys[base+i+1:base+c.ways])
+			copy(c.valid[base+i:base+c.ways-1], c.valid[base+i+1:base+c.ways])
+			c.valid[base+c.ways-1] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Keys appends all resident keys to dst (unspecified order) and returns it.
+func (c *Cache) Keys(dst []uint64) []uint64 {
+	for i, v := range c.valid {
+		if v {
+			dst = append(dst, c.keys[i])
+		}
+	}
+	return dst
+}
+
+// Len returns the number of valid entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := New(4, 2)
+	if c.Lookup(1) {
+		t.Error("cold lookup hit")
+	}
+	c.Insert(1)
+	if !c.Lookup(1) {
+		t.Error("inserted key missed")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Insertions != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(1, 2) // single set, 2 ways
+	c.Insert(0)
+	c.Insert(1)
+	c.Lookup(0) // 0 becomes MRU
+	ev, was := c.Insert(2)
+	if !was || ev != 1 {
+		t.Errorf("evicted %d (was=%v), want 1", ev, was)
+	}
+	if !c.Contains(0) || !c.Contains(2) || c.Contains(1) {
+		t.Error("wrong residents after eviction")
+	}
+}
+
+func TestCacheInsertRefreshesExisting(t *testing.T) {
+	c := New(1, 2)
+	c.Insert(0)
+	c.Insert(1)
+	c.Insert(0) // refresh, no eviction
+	ev, was := c.Insert(2)
+	if !was || ev != 1 {
+		t.Errorf("evicted %d, want 1 (0 was refreshed)", ev)
+	}
+}
+
+func TestCacheSetIndexing(t *testing.T) {
+	c := New(4, 1)
+	// Keys mapping to different sets must not evict each other.
+	c.Insert(0)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	for k := uint64(0); k < 4; k++ {
+		if !c.Contains(k) {
+			t.Errorf("key %d evicted despite distinct sets", k)
+		}
+	}
+	// Same set (stride = sets) conflicts.
+	ev, was := c.Insert(4)
+	if !was || ev != 0 {
+		t.Errorf("evicted %d (was=%v), want 0", ev, was)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := New(2, 2)
+	c.Insert(2)
+	c.Insert(4)
+	if !c.Invalidate(2) {
+		t.Error("Invalidate existing returned false")
+	}
+	if c.Contains(2) {
+		t.Error("invalidated key still present")
+	}
+	if c.Invalidate(2) {
+		t.Error("Invalidate missing returned true")
+	}
+	if !c.Contains(4) {
+		t.Error("unrelated key lost")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheContainsDoesNotTouch(t *testing.T) {
+	c := New(1, 2)
+	c.Insert(0)
+	c.Insert(1) // LRU: 0
+	c.Contains(0)
+	ev, _ := c.Insert(2)
+	if ev != 0 {
+		t.Errorf("Contains changed LRU: evicted %d, want 0", ev)
+	}
+	if got := c.Stats().Accesses(); got != 0 {
+		t.Errorf("Contains counted as access: %d", got)
+	}
+}
+
+func TestCacheKeys(t *testing.T) {
+	c := New(2, 2)
+	for k := uint64(0); k < 4; k++ {
+		c.Insert(k)
+	}
+	keys := c.Keys(nil)
+	if len(keys) != 4 {
+		t.Errorf("Keys returned %d entries", len(keys))
+	}
+}
+
+func TestNewBytes(t *testing.T) {
+	c := NewBytes(32<<10, 4, 64) // the L1-I geometry
+	if c.Sets() != 128 || c.Ways() != 4 {
+		t.Errorf("32KB/4w/64B => %dx%d", c.Sets(), c.Ways())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(3, 2) },
+		func() { New(0, 2) },
+		func() { New(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestCacheInvariants drives random operations and checks structural
+// invariants: occupancy bounds and that contents are a subset of inserted
+// keys.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		c := New(8, 4)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		inserted := map[uint64]bool{}
+		for _, op := range ops {
+			key := uint64(rng.IntN(64))
+			switch op % 3 {
+			case 0:
+				c.Insert(key)
+				inserted[key] = true
+			case 1:
+				c.Lookup(key)
+			case 2:
+				c.Invalidate(key)
+			}
+		}
+		if c.Len() > c.Capacity() {
+			return false
+		}
+		for _, k := range c.Keys(nil) {
+			if !inserted[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssocLookupValue(t *testing.T) {
+	a := NewAssoc[string](2, 2)
+	a.Insert(2, "two")
+	a.Insert(4, "four")
+	if v, ok := a.Lookup(2); !ok || v != "two" {
+		t.Errorf("Lookup(2) = %q, %v", v, ok)
+	}
+	if _, ok := a.Lookup(6); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestAssocInsertOverwrites(t *testing.T) {
+	a := NewAssoc[int](1, 2)
+	a.Insert(0, 10)
+	a.Insert(0, 20)
+	if v, _ := a.Lookup(0); v != 20 {
+		t.Errorf("overwrite failed: %d", v)
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", a.Len())
+	}
+}
+
+func TestAssocEvictionReturnsPayload(t *testing.T) {
+	a := NewAssoc[int](1, 2)
+	a.Insert(0, 10)
+	a.Insert(1, 11)
+	k, v, ev := a.Insert(2, 12)
+	if !ev || k != 0 || v != 10 {
+		t.Errorf("evicted (%d,%d,%v), want (0,10,true)", k, v, ev)
+	}
+}
+
+func TestAssocInvalidate(t *testing.T) {
+	a := NewAssoc[int](1, 4)
+	for k := uint64(0); k < 4; k++ {
+		a.Insert(k, int(k))
+	}
+	if !a.Invalidate(2) || a.Contains(2) {
+		t.Error("invalidate failed")
+	}
+	// Remaining entries intact.
+	for _, k := range []uint64{0, 1, 3} {
+		if v, ok := a.Lookup(k); !ok || v != int(k) {
+			t.Errorf("key %d damaged by invalidate", k)
+		}
+	}
+}
+
+func TestAssocLRUOrder(t *testing.T) {
+	a := NewAssoc[int](1, 3)
+	a.Insert(0, 0)
+	a.Insert(1, 1)
+	a.Insert(2, 2)
+	a.Lookup(0)
+	a.Lookup(1)
+	k, _, ev := a.Insert(3, 3)
+	if !ev || k != 2 {
+		t.Errorf("evicted %d, want 2 (LRU)", k)
+	}
+}

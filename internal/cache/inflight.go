@@ -1,0 +1,47 @@
+package cache
+
+// InFlight tracks outstanding fills (prefetches and demand misses) with
+// their completion times, the mechanism by which the simulator models
+// prefetch timeliness: a demand access to an in-flight block stalls only for
+// the residual latency.
+type InFlight struct {
+	m map[uint64]float64
+}
+
+// NewInFlight returns an empty in-flight table.
+func NewInFlight() *InFlight {
+	return &InFlight{m: make(map[uint64]float64)}
+}
+
+// Add registers a fill completing at ready. If the block is already in
+// flight, the earlier completion time wins.
+func (f *InFlight) Add(key uint64, ready float64) {
+	if cur, ok := f.m[key]; !ok || ready < cur {
+		f.m[key] = ready
+	}
+}
+
+// Ready returns the completion time for key and whether it is in flight.
+func (f *InFlight) Ready(key uint64) (float64, bool) {
+	r, ok := f.m[key]
+	return r, ok
+}
+
+// Remove drops key (its fill materialized or was cancelled).
+func (f *InFlight) Remove(key uint64) { delete(f.m, key) }
+
+// Len returns the number of outstanding fills.
+func (f *InFlight) Len() int { return len(f.m) }
+
+// Expire drops all fills with ready time <= now that satisfy keep==false,
+// invoking fn for each; used to materialize completed prefetches lazily.
+func (f *InFlight) Expire(now float64, fn func(key uint64)) {
+	for k, r := range f.m {
+		if r <= now {
+			delete(f.m, k)
+			if fn != nil {
+				fn(k)
+			}
+		}
+	}
+}

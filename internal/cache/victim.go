@@ -1,0 +1,81 @@
+package cache
+
+// Victim is a small fully-associative LRU buffer, used as the 64-entry
+// victim buffer backing the baseline conventional BTB and as PhantomBTB's
+// prefetch buffer.
+type Victim struct {
+	cap  int
+	keys []uint64 // MRU first
+	vals []any
+}
+
+// NewVictim creates a victim buffer holding up to capacity entries.
+func NewVictim(capacity int) *Victim {
+	if capacity <= 0 {
+		panic("cache: victim capacity must be positive")
+	}
+	return &Victim{cap: capacity}
+}
+
+// Capacity returns the configured capacity; Len the current occupancy.
+func (v *Victim) Capacity() int { return v.cap }
+func (v *Victim) Len() int      { return len(v.keys) }
+
+// Lookup returns the value for key and removes it (entries migrate back to
+// the main structure on hit, the usual victim-buffer contract).
+func (v *Victim) Take(key uint64) (any, bool) {
+	for i, k := range v.keys {
+		if k == key {
+			val := v.vals[i]
+			v.keys = append(v.keys[:i], v.keys[i+1:]...)
+			v.vals = append(v.vals[:i], v.vals[i+1:]...)
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// Peek returns the value for key without removing it, refreshing recency.
+func (v *Victim) Peek(key uint64) (any, bool) {
+	for i, k := range v.keys {
+		if k == key {
+			val := v.vals[i]
+			copy(v.keys[1:i+1], v.keys[:i])
+			copy(v.vals[1:i+1], v.vals[:i])
+			v.keys[0], v.vals[0] = key, val
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// Put inserts (key, val) at MRU, evicting the LRU entry when full. A present
+// key is refreshed/overwritten.
+func (v *Victim) Put(key uint64, val any) {
+	for i, k := range v.keys {
+		if k == key {
+			v.keys = append(v.keys[:i], v.keys[i+1:]...)
+			v.vals = append(v.vals[:i], v.vals[i+1:]...)
+			break
+		}
+	}
+	if len(v.keys) < v.cap {
+		v.keys = append(v.keys, 0)
+		v.vals = append(v.vals, nil)
+	}
+	copy(v.keys[1:], v.keys)
+	copy(v.vals[1:], v.vals)
+	v.keys[0], v.vals[0] = key, val
+}
+
+// Remove drops key if present.
+func (v *Victim) Remove(key uint64) bool {
+	for i, k := range v.keys {
+		if k == key {
+			v.keys = append(v.keys[:i], v.keys[i+1:]...)
+			v.vals = append(v.vals[:i], v.vals[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

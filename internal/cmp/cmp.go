@@ -1,0 +1,85 @@
+// Package cmp runs a multi-core simulation: N cores executing the same
+// server workload (distinct request interleavings), sharing the LLC and any
+// virtualized predictor metadata, in the round-robin trace-interleaved
+// style of the paper's methodology (§4.1).
+package cmp
+
+import (
+	"fmt"
+
+	"confluence/internal/frontend"
+	"confluence/internal/mem"
+	"confluence/internal/trace"
+)
+
+// System is an assembled CMP: per-core frontends fed by per-core executors
+// over a shared memory hierarchy.
+type System struct {
+	Cores []*frontend.Core
+	Execs []*trace.Executor
+	Hier  *mem.Hierarchy
+}
+
+// New wires a system; len(cores) must equal len(execs).
+func New(cores []*frontend.Core, execs []*trace.Executor, hier *mem.Hierarchy) (*System, error) {
+	if len(cores) == 0 || len(cores) != len(execs) {
+		return nil, fmt.Errorf("cmp: %d cores vs %d executors", len(cores), len(execs))
+	}
+	return &System{Cores: cores, Execs: execs, Hier: hier}, nil
+}
+
+// Run simulates warmup+measure instructions per core (round-robin, one
+// basic block per core per turn). Warmup populates caches, predictors, and
+// shared history with statistics frozen; measurement counters are reset at
+// the boundary. It returns the aggregate measured stats.
+func (s *System) Run(warmup, measure uint64) *frontend.Stats {
+	s.phase(warmup)
+	for _, c := range s.Cores {
+		c.ResetStats()
+	}
+	if s.Hier != nil {
+		s.Hier.ResetStats()
+	}
+	s.phase(measure)
+
+	var agg frontend.Stats
+	for _, c := range s.Cores {
+		agg.Add(c.Stats())
+	}
+	return &agg
+}
+
+// phase advances every core by approximately n instructions.
+func (s *System) phase(n uint64) {
+	if n == 0 {
+		return
+	}
+	var rec trace.Record
+	targets := make([]uint64, len(s.Cores))
+	for i, c := range s.Cores {
+		targets[i] = c.Stats().Instructions + n
+	}
+	for {
+		done := true
+		for i, c := range s.Cores {
+			if c.Stats().Instructions >= targets[i] {
+				continue
+			}
+			done = false
+			s.Execs[i].Next(&rec)
+			c.Step(&rec)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// PerCoreStats returns each core's measured stats (diagnostics).
+func (s *System) PerCoreStats() []*frontend.Stats {
+	out := make([]*frontend.Stats, len(s.Cores))
+	for i, c := range s.Cores {
+		out[i] = c.Stats()
+	}
+	return out
+}

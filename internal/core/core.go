@@ -1,0 +1,316 @@
+// Package core implements Confluence, the paper's contribution: a frontend
+// whose single stream-based prefetcher (SHIFT) proactively fills both the
+// L1-I and the BTB from one set of block-grain control-flow metadata shared
+// across cores and virtualized in the LLC.
+//
+// The unification is the wiring: SHIFT's stream engine predicts instruction
+// blocks; every block filled into the L1-I (by prefetch or on demand) is
+// predecoded and its branch targets are eagerly inserted into AirBTB, whose
+// bundles are evicted exactly when their blocks leave the L1-I. The package
+// also assembles every competing design point evaluated by the paper
+// (conventional/two-level/Phantom BTBs with FDP or SHIFT) so experiments
+// compare like with like.
+package core
+
+import (
+	"fmt"
+
+	"confluence/internal/airbtb"
+	"confluence/internal/area"
+	"confluence/internal/btb"
+	"confluence/internal/cmp"
+	"confluence/internal/fdp"
+	"confluence/internal/frontend"
+	"confluence/internal/mem"
+	"confluence/internal/phantom"
+	"confluence/internal/prefetch"
+	"confluence/internal/shift"
+	"confluence/internal/synth"
+	"confluence/internal/trace"
+)
+
+// DesignPoint identifies one frontend configuration from the paper's
+// evaluation.
+type DesignPoint int
+
+const (
+	// Base1K: 1K-entry conventional BTB + 64-entry victim buffer, no
+	// instruction prefetching. The normalization baseline of Figs 2/6/7.
+	Base1K DesignPoint = iota
+	// FDP1K: Base1K plus fetch-directed prefetching.
+	FDP1K
+	// PhantomFDP: PhantomBTB (1K L1 + LLC-virtualized temporal groups) + FDP.
+	PhantomFDP
+	// TwoLevelFDP: 1K L1-BTB + 16K 4-cycle L2-BTB + FDP.
+	TwoLevelFDP
+	// TwoLevelSHIFT: the strongest conventional point: two-level BTB + SHIFT.
+	TwoLevelSHIFT
+	// Base1KSHIFT: 1K BTB + SHIFT (Fig 7's normalization baseline).
+	Base1KSHIFT
+	// PhantomSHIFT: PhantomBTB + SHIFT (Fig 7).
+	PhantomSHIFT
+	// Confluence: AirBTB + SHIFT with synchronized L1-I/BTB content.
+	Confluence
+	// IdealBTBSHIFT: 16K-entry single-cycle BTB + SHIFT (Fig 7).
+	IdealBTBSHIFT
+	// Ideal: perfect L1-I and perfect single-cycle BTB (Figs 2/6).
+	Ideal
+
+	// Fig 8 intermediate design points (cumulative AirBTB mechanisms).
+	AirCapacity // conventional org at AirBTB-equivalent capacity
+	AirSpatial  // + eager whole-block insertion on demand fills
+	AirPrefetch // + SHIFT-driven fills feed the BTB too
+
+	// SweepBTB: conventional BTB with Options.SweepBTBEntries entries, no
+	// prefetching (Fig 1).
+	SweepBTB
+)
+
+var designNames = map[DesignPoint]string{
+	Base1K:        "Base1K",
+	FDP1K:         "FDP",
+	PhantomFDP:    "PhantomBTB+FDP",
+	TwoLevelFDP:   "2LevelBTB+FDP",
+	TwoLevelSHIFT: "2LevelBTB+SHIFT",
+	Base1KSHIFT:   "Base1K+SHIFT",
+	PhantomSHIFT:  "PhantomBTB+SHIFT",
+	Confluence:    "Confluence",
+	IdealBTBSHIFT: "IdealBTB+SHIFT",
+	Ideal:         "Ideal",
+	AirCapacity:   "AirBTB-Capacity",
+	AirSpatial:    "AirBTB-Spatial",
+	AirPrefetch:   "AirBTB-Prefetch",
+	SweepBTB:      "SweepBTB",
+}
+
+func (d DesignPoint) String() string {
+	if n, ok := designNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("DesignPoint(%d)", int(d))
+}
+
+// UsesSHIFT reports whether the design point employs the shared stream
+// prefetcher.
+func (d DesignPoint) UsesSHIFT() bool {
+	switch d {
+	case TwoLevelSHIFT, Base1KSHIFT, PhantomSHIFT, Confluence, IdealBTBSHIFT, AirPrefetch:
+		return true
+	}
+	return false
+}
+
+// UsesFDP reports whether the design point uses fetch-directed prefetching.
+func (d DesignPoint) UsesFDP() bool {
+	switch d {
+	case FDP1K, PhantomFDP, TwoLevelFDP:
+		return true
+	}
+	return false
+}
+
+// Options tunes system assembly.
+type Options struct {
+	Cores           int           // CMP size (paper: 16)
+	Air             airbtb.Config // AirBTB geometry (Fig 10 sensitivity)
+	Shift           shift.Config
+	FDP             fdp.Config
+	SweepBTBEntries int // only for SweepBTB
+	// HistoryPerCore gives every core a private SHIFT history instead of
+	// the shared one (ablation; the paper shares).
+	HistoryPerCore bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Cores: 16,
+		Air:   airbtb.DefaultConfig(),
+		Shift: shift.DefaultConfig(),
+		FDP:   fdp.DefaultConfig(),
+	}
+}
+
+// System is an assembled CMP plus design metadata.
+type System struct {
+	*cmp.System
+	Design   DesignPoint
+	Workload *synth.Workload
+	// OverheadMM2 is the per-core silicon added relative to the Base1K
+	// frontend; RelativeArea the Figs 2/6 x-axis value.
+	OverheadMM2  float64
+	RelativeArea float64
+
+	// Shared structures (nil when unused), exposed for tests/ablations.
+	History      *shift.History
+	PhantomStore *phantom.Store
+	AirBTBs      []*airbtb.AirBTB
+}
+
+// NewSystem assembles a CMP running workload w under design point dp.
+func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) {
+	if opt.Cores <= 0 {
+		return nil, fmt.Errorf("core: need at least one core")
+	}
+	if opt.Air.Bundles == 0 {
+		opt.Air = airbtb.DefaultConfig()
+	}
+	if opt.Shift.HistoryEntries == 0 {
+		opt.Shift = shift.DefaultConfig()
+	}
+	if opt.FDP.QueueDepth == 0 {
+		opt.FDP = fdp.DefaultConfig()
+	}
+
+	sys := &System{Design: dp, Workload: w}
+
+	// Memory hierarchy: reserve LLC capacity for virtualized metadata.
+	reserved := 0
+	if dp.UsesSHIFT() {
+		reserved += opt.Shift.HistoryBytes()
+	}
+	var store *phantom.Store
+	if dp == PhantomFDP || dp == PhantomSHIFT {
+		store = phantom.NewStore(4 << 10)
+		reserved += store.Bytes()
+		sys.PhantomStore = store
+	}
+	memCfg := mem.DefaultConfig()
+	if opt.Cores != memCfg.Banks {
+		memCfg.Banks = opt.Cores
+	}
+	hier := mem.New(memCfg, reserved)
+
+	var history *shift.History
+	if dp.UsesSHIFT() && !opt.HistoryPerCore {
+		history = shift.NewHistory(opt.Shift.HistoryEntries)
+		sys.History = history
+	}
+
+	prof := w.Prof
+	cores := make([]*frontend.Core, opt.Cores)
+	execs := make([]*trace.Executor, opt.Cores)
+	for i := 0; i < opt.Cores; i++ {
+		cfg := frontend.DefaultConfig()
+		cfg.CoreID = i
+		cfg.BackendCPI = prof.BackendCPI
+		cfg.Exposure = prof.Exposure
+		cfg.Hier = hier
+		cfg.Prog = w.Prog
+
+		metaLat := hier.AvgLLCLatency(i)
+
+		// BTB design.
+		switch dp {
+		case Base1K, FDP1K, Base1KSHIFT:
+			cfg.BTB = btb.NewConventional("Conv1K", 256, 4, 64)
+		case PhantomFDP, PhantomSHIFT:
+			cfg.BTB = phantom.New("PhantomBTB", 256, 4, 64, store, metaLat)
+		case TwoLevelFDP, TwoLevelSHIFT:
+			cfg.BTB = btb.NewTwoLevel("2LevelBTB", 256, 4, 2048, 8, 3)
+		case IdealBTBSHIFT:
+			cfg.BTB = btb.NewConventional("IdealBTB16K", 2048, 8, 0)
+		case Confluence:
+			air := airbtb.New(opt.Air)
+			sys.AirBTBs = append(sys.AirBTBs, air)
+			cfg.BTB = air
+			cfg.PredecodePenalty = 2
+		case Ideal:
+			cfg.PerfectBTB = true
+			cfg.PerfectL1I = true
+		case AirCapacity, AirSpatial:
+			cfg.BTB = airEquivalentConventional(opt.Air, dp == AirSpatial)
+		case AirPrefetch:
+			cfg.BTB = airEquivalentConventional(opt.Air, true)
+		case SweepBTB:
+			e := opt.SweepBTBEntries
+			if e <= 0 {
+				return nil, fmt.Errorf("core: SweepBTB requires SweepBTBEntries")
+			}
+			cfg.BTB = btb.NewConventional(fmt.Sprintf("Conv%d", e), e/4, 4, 0)
+		default:
+			return nil, fmt.Errorf("core: unknown design point %v", dp)
+		}
+
+		// Instruction prefetcher.
+		switch {
+		case dp.UsesSHIFT():
+			h := history
+			if opt.HistoryPerCore {
+				h = shift.NewHistory(opt.Shift.HistoryEntries)
+				if i == 0 {
+					sys.History = h
+				}
+			}
+			cfg.Prefetcher = shift.NewEngine(opt.Shift, h, metaLat)
+			if i == 0 || opt.HistoryPerCore {
+				cfg.Recorder = h
+			}
+		case dp.UsesFDP():
+			cfg.Prefetcher = fdp.New(opt.FDP)
+		default:
+			cfg.Prefetcher = prefetch.Null{}
+		}
+
+		cores[i] = frontend.NewCore(cfg)
+		execs[i] = trace.NewExecutor(w, prof.Seed^uint64(0x9e3779b9*uint32(i+1)))
+	}
+
+	inner, err := cmp.New(cores, execs, hier)
+	if err != nil {
+		return nil, err
+	}
+	sys.System = inner
+	sys.OverheadMM2 = overheadMM2(dp, opt)
+	sys.RelativeArea = area.Relative(sys.OverheadMM2)
+	return sys, nil
+}
+
+// airEquivalentConventional builds the Fig 8 intermediate BTB: conventional
+// organization with as many entries as AirBTB holds (bundles × entries +
+// overflow); eager selects predecode-driven whole-block insertion.
+func airEquivalentConventional(air airbtb.Config, eager bool) btb.Design {
+	entries := air.Bundles*air.EntriesPerBundle + air.OverflowEntries
+	ways := 6
+	sets := 1
+	for sets*2*ways <= entries {
+		sets *= 2
+	}
+	if eager {
+		return btb.NewEager("AirEquivEager", sets, ways, 32)
+	}
+	return btb.NewConventional("AirEquivCapacity", sets, ways, 32)
+}
+
+// overheadMM2 computes the per-core silicon overhead of a design point
+// relative to the Base1K frontend (1K-entry BTB + victim buffer), using the
+// paper's CACTI-calibrated area model.
+func overheadMM2(dp DesignPoint, opt Options) float64 {
+	baseBTB := area.SRAMBits(area.ConventionalBTBBits(1024, 4) + area.VictimBufferBits(64))
+	switch dp {
+	case Base1K, FDP1K:
+		return 0
+	case PhantomFDP:
+		// First level matches the baseline's cost; the virtualized second
+		// level lives in existing LLC blocks (paper §4.2.2).
+		return 0
+	case TwoLevelFDP:
+		return area.SRAMBits(area.ConventionalBTBBits(16<<10, 8))
+	case TwoLevelSHIFT:
+		return area.SRAMBits(area.ConventionalBTBBits(16<<10, 8)) + area.ShiftPerCoreMM2
+	case Base1KSHIFT, PhantomSHIFT:
+		return area.ShiftPerCoreMM2
+	case Confluence, AirPrefetch:
+		airMM2 := area.SRAMBits(opt.Air.StorageBits())
+		return airMM2 - baseBTB + area.ShiftPerCoreMM2
+	case IdealBTBSHIFT:
+		return area.SRAMBits(area.ConventionalBTBBits(16<<10, 8)) - baseBTB + area.ShiftPerCoreMM2
+	case Ideal:
+		return 0 // plotted at relative area 1.0 (paper Figs 2/6)
+	case AirCapacity, AirSpatial:
+		return area.SRAMBits(opt.Air.StorageBits()) - baseBTB
+	case SweepBTB:
+		return area.SRAMBits(area.ConventionalBTBBits(opt.SweepBTBEntries, 4)) - baseBTB
+	}
+	return 0
+}

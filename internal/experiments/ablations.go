@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strconv"
+
+	"confluence/internal/core"
+	"confluence/internal/stats"
+)
+
+// The ablations go beyond the paper's figures, probing the design choices
+// DESIGN.md calls out: SHIFT's lookahead depth (timeliness vs waste),
+// shared vs private history (the paper's inter-core redundancy argument),
+// and AirBTB bundle count versus the L1-I block count (the strict-sync
+// choice).
+
+// AblationRow is one configuration's outcome on one workload.
+type AblationRow struct {
+	Workload string
+	Config   string
+	IPC      float64
+	BTBMPKI  float64
+	L1IMPKI  float64
+}
+
+// LookaheadSweep measures Confluence across SHIFT lookahead depths.
+func (r *Runner) LookaheadSweep(depths []int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, w := range r.Workloads {
+		for _, d := range depths {
+			opt := r.options()
+			opt.Shift.Lookahead = d
+			st, err := r.Run(w, core.Confluence, opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Workload: w.Prof.Name, Config: formatInt("lookahead=", d),
+				IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SharedVsPrivateHistory compares the paper's shared SHIFT history against
+// per-core private instances (the sharing is an area play; performance
+// should be close — the paper reports the same for PhantomBTB's shared
+// variant).
+func (r *Runner) SharedVsPrivateHistory() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, w := range r.Workloads {
+		for _, private := range []bool{false, true} {
+			opt := r.options()
+			opt.HistoryPerCore = private
+			st, err := r.Run(w, core.Confluence, opt)
+			if err != nil {
+				return nil, err
+			}
+			name := "shared-history"
+			if private {
+				name = "private-history"
+			}
+			rows = append(rows, AblationRow{
+				Workload: w.Prof.Name, Config: name,
+				IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// BundleCountSweep varies AirBTB's bundle count relative to the 512 L1-I
+// blocks. Fewer bundles than blocks breaks strict content synchronization
+// (bundles for resident blocks get dropped early); more wastes storage.
+func (r *Runner) BundleCountSweep(bundles []int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, w := range r.Workloads {
+		for _, n := range bundles {
+			opt := r.options()
+			opt.Air.Bundles = n
+			st, err := r.Run(w, core.Confluence, opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Workload: w.Prof.Name, Config: formatInt("bundles=", n),
+				IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationTable formats ablation rows.
+func AblationTable(title string, rows []AblationRow) *stats.Table {
+	t := stats.NewTable(title, "Workload", "Config", "IPC", "BTB MPKI", "L1-I MPKI")
+	for _, r := range rows {
+		t.Row(r.Workload, r.Config, r.IPC, r.BTBMPKI, r.L1IMPKI)
+	}
+	return t
+}
+
+func formatInt(prefix string, v int) string {
+	return prefix + strconv.Itoa(v)
+}

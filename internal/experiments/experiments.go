@@ -1,0 +1,119 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each to its modules). Each runner returns
+// typed results plus a formatted table whose rows match what the paper
+// reports; absolute values differ from the paper (our substrate is a
+// synthetic-workload simulator), but the shapes — orderings, rough factors,
+// crossovers — are the reproduction target (EXPERIMENTS.md tracks both).
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"confluence/internal/core"
+	"confluence/internal/frontend"
+	"confluence/internal/synth"
+)
+
+// Scale sets the simulation effort: CMP width and per-core warmup/measure
+// instruction counts.
+type Scale struct {
+	Name    string
+	Cores   int
+	Warmup  uint64
+	Measure uint64
+}
+
+// Predefined scales. Small keeps unit tests fast; Default balances fidelity
+// and runtime for benches and the CLI; Paper approximates the paper's
+// 16-core setup.
+var (
+	Small   = Scale{Name: "small", Cores: 4, Warmup: 800_000, Measure: 800_000}
+	Default = Scale{Name: "default", Cores: 8, Warmup: 1_500_000, Measure: 1_500_000}
+	Paper   = Scale{Name: "paper", Cores: 16, Warmup: 3_000_000, Measure: 3_000_000}
+)
+
+// ScaleByName returns a predefined scale.
+func ScaleByName(name string) (Scale, bool) {
+	for _, s := range []Scale{Small, Default, Paper} {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scale{}, false
+}
+
+// ScaleFromEnv reads REPRO_SCALE (small|default|paper), defaulting to
+// Default.
+func ScaleFromEnv() Scale {
+	if s, ok := ScaleByName(os.Getenv("REPRO_SCALE")); ok {
+		return s
+	}
+	return Default
+}
+
+// Runner executes design points over the workload suite, caching results so
+// figures that share runs (e.g. the Base1K baseline) pay for them once.
+type Runner struct {
+	Scale     Scale
+	Workloads []*synth.Workload
+	// Progress, if set, receives a line per completed run.
+	Progress func(string)
+
+	cache map[string]*frontend.Stats
+}
+
+// NewRunner builds the five-workload suite at the given scale.
+func NewRunner(sc Scale) (*Runner, error) {
+	r := &Runner{Scale: sc, cache: make(map[string]*frontend.Stats)}
+	for _, prof := range synth.Profiles() {
+		w, err := synth.Build(prof)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", prof.Name, err)
+		}
+		r.Workloads = append(r.Workloads, w)
+	}
+	return r, nil
+}
+
+// NewRunnerFor builds a runner over an explicit workload list (tests).
+func NewRunnerFor(sc Scale, ws []*synth.Workload) *Runner {
+	return &Runner{Scale: sc, Workloads: ws, cache: make(map[string]*frontend.Stats)}
+}
+
+func optKey(opt core.Options) string {
+	return fmt.Sprintf("c%d-air%d.%d.%d-sw%d-la%d-priv%v",
+		opt.Cores, opt.Air.Bundles, opt.Air.EntriesPerBundle, opt.Air.OverflowEntries,
+		opt.SweepBTBEntries, opt.Shift.Lookahead, opt.HistoryPerCore)
+}
+
+// Run simulates one (workload, design point, options) cell, with caching.
+func (r *Runner) Run(w *synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, error) {
+	key := w.Prof.Name + "|" + dp.String() + "|" + optKey(opt)
+	if st, ok := r.cache[key]; ok {
+		return st, nil
+	}
+	sys, err := core.NewSystem(w, dp, opt)
+	if err != nil {
+		return nil, err
+	}
+	st := sys.Run(r.Scale.Warmup, r.Scale.Measure)
+	r.cache[key] = st
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
+			w.Prof.Name, dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI()))
+	}
+	return st, nil
+}
+
+// options returns the default options at the runner's scale.
+func (r *Runner) options() core.Options {
+	opt := core.DefaultOptions()
+	opt.Cores = r.Scale.Cores
+	return opt
+}
+
+// RunDefault runs a design point with default options.
+func (r *Runner) RunDefault(w *synth.Workload, dp core.DesignPoint) (*frontend.Stats, error) {
+	return r.Run(w, dp, r.options())
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"confluence/internal/cache"
+	"confluence/internal/isa"
+	"confluence/internal/stats"
+	"confluence/internal/synth"
+	"confluence/internal/trace"
+)
+
+// Table2Row reports branch density per 64B instruction block, matching the
+// paper's Table 2: Static is the average number of branch instructions in
+// demand-fetched blocks; Dynamic the average number of branches executed
+// during a block's L1-I residency (paper averages: static 3.5, dynamic 1.5).
+type Table2Row struct {
+	Workload string
+	Static   float64
+	Dynamic  float64
+}
+
+// Table2 measures branch density with a standalone L1-I residency probe
+// (one core, the paper's 32KB/4-way geometry).
+func (r *Runner) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range r.Workloads {
+		rows = append(rows, table2One(w, r.Scale.Warmup+r.Scale.Measure))
+	}
+	return rows, nil
+}
+
+func table2One(w *synth.Workload, instructions uint64) Table2Row {
+	const sets, ways = 128, 4 // 32KB / 64B blocks
+	l1i := cache.New(sets, ways)
+	exec := trace.NewExecutor(w, 0x7ab1e2)
+	// executed[block] is the bitmap of branch sites exercised during the
+	// block's current L1-I residency; the paper's "dynamic" column is how
+	// many of a block's static branches are actually used while resident —
+	// the number AirBTB's 3-entry bundles are provisioned against.
+	executed := make(map[uint64]uint16)
+
+	var residencies, staticBranches, dynamicSum uint64
+	var rec trace.Record
+	key := func(b isa.Addr) uint64 { return uint64(b) >> isa.BlockShift }
+	popcount := func(x uint16) uint64 {
+		var n uint64
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+		return n
+	}
+
+	for exec.Instructions < instructions {
+		exec.Next(&rec)
+		first := isa.BlockOf(rec.Start)
+		last := isa.BlockOf(rec.Start + isa.Addr((rec.N-1)*isa.InstrBytes))
+		for b := first; b <= last; b += isa.BlockBytes {
+			if !l1i.Lookup(key(b)) {
+				if ev, ok := l1i.Insert(key(b)); ok {
+					dynamicSum += popcount(executed[ev])
+					residencies++
+					delete(executed, ev)
+				}
+				staticBranches += uint64(len(w.Prog.PredecodeBlock(b)))
+			}
+		}
+		if rec.Br.Kind.IsBranch() {
+			executed[key(isa.BlockOf(rec.Br.PC))] |= 1 << uint(isa.BlockIndex(rec.Br.PC))
+		}
+	}
+	// Flush still-resident blocks' residencies.
+	for _, k := range l1i.Keys(nil) {
+		dynamicSum += popcount(executed[k])
+		residencies++
+	}
+	row := Table2Row{Workload: w.Prof.Name}
+	if residencies > 0 {
+		row.Static = float64(staticBranches) / float64(residencies)
+		row.Dynamic = float64(dynamicSum) / float64(residencies)
+	}
+	return row
+}
+
+// Table2Table formats Table 2 results.
+func Table2Table(rows []Table2Row) *stats.Table {
+	t := stats.NewTable("Table 2: branch density in demand-fetched 64B blocks",
+		"Workload", "Static", "Dynamic")
+	var s, d []float64
+	for _, r := range rows {
+		t.Row(r.Workload, r.Static, r.Dynamic)
+		s, d = append(s, r.Static), append(d, r.Dynamic)
+	}
+	t.Row("Average", stats.Mean(s), stats.Mean(d))
+	return t
+}

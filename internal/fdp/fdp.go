@@ -1,0 +1,90 @@
+// Package fdp implements fetch-directed prefetching (Reinman, Calder,
+// Austin, MICRO'99) as the paper configures it: the branch prediction unit
+// is decoupled from the L1-I by a six-basic-block fetch queue and runs
+// ahead along the predicted path, issuing prefetches for the instruction
+// blocks of enqueued fetch regions.
+//
+// The timing model expresses FDP's limited lookahead directly: a region's
+// blocks are scheduled with a negative delay equal to the run-ahead the BPU
+// has accumulated since the last pipeline redirect, capped by the queue
+// depth. A redirect (misfetch or misprediction) destroys the run-ahead,
+// which then ramps back up — this is FDP's "lookahead is limited and
+// geometrically compounding mispredictions" weakness (paper §2.1).
+package fdp
+
+import (
+	"confluence/internal/isa"
+	"confluence/internal/prefetch"
+)
+
+// Config sizes FDP.
+type Config struct {
+	QueueDepth  int     // fetch queue capacity in basic blocks (paper: 6)
+	CyclesPerBB float64 // average drain time per queued region
+}
+
+// DefaultConfig returns the paper's tuned configuration.
+func DefaultConfig() Config {
+	return Config{QueueDepth: 6, CyclesPerBB: 1.4}
+}
+
+// FDP is a per-core fetch-directed prefetcher.
+type FDP struct {
+	cfg Config
+	// regionsAhead counts fetch regions enqueued since the last redirect:
+	// the BPU refills its run-ahead one region per cycle, so a region
+	// enqueued k regions after a redirect has banked ~k*CyclesPerBB of
+	// lookahead, capped by the queue depth.
+	regionsAhead int
+
+	Regions, Requests, Redirects uint64
+}
+
+// New creates an FDP instance.
+func New(cfg Config) *FDP {
+	if cfg.QueueDepth <= 0 {
+		panic("fdp: queue depth must be positive")
+	}
+	return &FDP{cfg: cfg, regionsAhead: cfg.QueueDepth}
+}
+
+// Name implements prefetch.Prefetcher.
+func (f *FDP) Name() string { return "FDP" }
+
+// lookahead returns the run-ahead banked for the region being enqueued.
+func (f *FDP) lookahead() float64 {
+	n := f.regionsAhead
+	if n > f.cfg.QueueDepth {
+		n = f.cfg.QueueDepth
+	}
+	return float64(n) * f.cfg.CyclesPerBB
+}
+
+// OnRegion implements prefetch.Prefetcher: prefetch the blocks of the
+// enqueued fetch region with the currently banked lookahead.
+func (f *FDP) OnRegion(now float64, start isa.Addr, nInstr int) []prefetch.Request {
+	f.Regions++
+	if nInstr <= 0 {
+		return nil
+	}
+	la := f.lookahead()
+	f.regionsAhead++
+	first := isa.BlockOf(start)
+	last := isa.BlockOf(start + isa.Addr((nInstr-1)*isa.InstrBytes))
+	var out []prefetch.Request
+	for b := first; b <= last; b += isa.BlockBytes {
+		out = append(out, prefetch.Request{Block: b, ExtraDelay: -la})
+		f.Requests++
+	}
+	return out
+}
+
+// OnAccess implements prefetch.Prefetcher (FDP is region-driven).
+func (f *FDP) OnAccess(float64, isa.Addr, bool) []prefetch.Request { return nil }
+
+// Redirect implements prefetch.Prefetcher: the BPU's run-ahead is lost and
+// must refill region by region.
+func (f *FDP) Redirect(now float64) {
+	f.Redirects++
+	f.regionsAhead = 0
+}

@@ -1,0 +1,103 @@
+package frontend
+
+// Stats aggregates one core's (or a whole CMP's) measured activity. All
+// cycle fields are in core cycles; counters cover the measurement window
+// only (warmup resets them).
+type Stats struct {
+	Instructions uint64
+	Records      uint64 // basic blocks executed
+	Requests     uint64
+	Cycles       float64
+
+	// Cycle decomposition (sums to Cycles).
+	IssueCycles     float64 // fetch/issue-limited time
+	BackendCycles   float64 // constant data-side CPI adder
+	BubbleCycles    float64 // multi-level BTB access bubbles
+	MisfetchCycles  float64 // decode-time redirects from BTB misses
+	ResolveCycles   float64 // execute-time redirects (direction/RAS/ITC)
+	L1IStallCycles  float64 // exposed instruction-fetch stalls
+	PredecodeCycles float64 // demand-fill predecode (Confluence)
+
+	// Branch events.
+	CondBranches    uint64
+	TakenBranches   uint64
+	BTBTakenLookups uint64
+	BTBMisses       uint64 // taken branch, entry absent (paper's definition)
+	DirMispredicts  uint64
+	RASMispredicts  uint64
+	ITCMispredicts  uint64
+
+	// Instruction-fetch events.
+	L1IAccesses uint64
+	L1IMisses   uint64 // true misses (not covered by a fill in flight)
+	L1IFills    uint64
+	DemandFills uint64
+
+	// Prefetching.
+	PrefIssued    uint64
+	PrefUseful    uint64 // materialized before (or at) demand access
+	PrefLate      uint64 // demand access waited on an in-flight fill
+	PrefDiscarded uint64 // aged out unused
+}
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Cycles
+}
+
+// CPI returns cycles per instruction.
+func (s *Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return s.Cycles / float64(s.Instructions)
+}
+
+// BTBMPKI returns BTB misses per kilo-instruction.
+func (s *Stats) BTBMPKI() float64 { return s.perKilo(s.BTBMisses) }
+
+// L1IMPKI returns L1-I misses per kilo-instruction.
+func (s *Stats) L1IMPKI() float64 { return s.perKilo(s.L1IMisses) }
+
+// DirMPKI returns direction mispredictions per kilo-instruction.
+func (s *Stats) DirMPKI() float64 { return s.perKilo(s.DirMispredicts) }
+
+func (s *Stats) perKilo(n uint64) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Instructions) * 1000
+}
+
+// Add accumulates other into s (multi-core aggregation).
+func (s *Stats) Add(o *Stats) {
+	s.Instructions += o.Instructions
+	s.Records += o.Records
+	s.Requests += o.Requests
+	s.Cycles += o.Cycles
+	s.IssueCycles += o.IssueCycles
+	s.BackendCycles += o.BackendCycles
+	s.BubbleCycles += o.BubbleCycles
+	s.MisfetchCycles += o.MisfetchCycles
+	s.ResolveCycles += o.ResolveCycles
+	s.L1IStallCycles += o.L1IStallCycles
+	s.PredecodeCycles += o.PredecodeCycles
+	s.CondBranches += o.CondBranches
+	s.TakenBranches += o.TakenBranches
+	s.BTBTakenLookups += o.BTBTakenLookups
+	s.BTBMisses += o.BTBMisses
+	s.DirMispredicts += o.DirMispredicts
+	s.RASMispredicts += o.RASMispredicts
+	s.ITCMispredicts += o.ITCMispredicts
+	s.L1IAccesses += o.L1IAccesses
+	s.L1IMisses += o.L1IMisses
+	s.L1IFills += o.L1IFills
+	s.DemandFills += o.DemandFills
+	s.PrefIssued += o.PrefIssued
+	s.PrefUseful += o.PrefUseful
+	s.PrefLate += o.PrefLate
+	s.PrefDiscarded += o.PrefDiscarded
+}

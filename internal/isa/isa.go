@@ -1,0 +1,204 @@
+// Package isa defines the synthetic fixed-length RISC instruction set used
+// throughout the simulator: addresses, cache-block geometry, branch kinds,
+// instruction-word encoding, and the block predecoder that Confluence relies
+// on to fill AirBTB.
+//
+// The encoding is deliberately simple — 32-bit words, a 4-bit opcode class,
+// and a 24-bit signed PC-relative displacement for direct branches — but it
+// is a real encoding: programs are materialized into byte images and the
+// predecoder recovers branch metadata by decoding those bytes, exactly the
+// operation Confluence performs on blocks fetched into the L1-I.
+package isa
+
+import "fmt"
+
+// Geometry of the machine. These mirror the paper's configuration:
+// 64-byte instruction blocks holding 16 fixed-length 4-byte instructions.
+const (
+	InstrBytes    = 4  // fixed instruction length
+	BlockBytes    = 64 // L1-I / LLC block size
+	InstrPerBlock = BlockBytes / InstrBytes
+
+	// BlockShift converts a byte address to a block address.
+	BlockShift = 6
+)
+
+// Addr is a 48-bit virtual address (stored in 64 bits).
+type Addr uint64
+
+// BlockOf returns the address of the 64B block containing a.
+func BlockOf(a Addr) Addr { return a &^ (BlockBytes - 1) }
+
+// BlockIndex returns the instruction slot (0..15) of a within its block.
+func BlockIndex(a Addr) int { return int(a%BlockBytes) / InstrBytes }
+
+// Align reports whether a is instruction-aligned.
+func Aligned(a Addr) bool { return a%InstrBytes == 0 }
+
+// BranchKind classifies control-transfer instructions. BrNone marks a basic
+// block that simply falls through into its successor.
+type BranchKind uint8
+
+const (
+	BrNone     BranchKind = iota // not a branch / fall-through block
+	BrCond                       // conditional, PC-relative target
+	BrUncond                     // unconditional jump, PC-relative target
+	BrCall                       // direct call (pushes return address)
+	BrRet                        // return (target from return address stack)
+	BrIndirect                   // indirect jump (target from indirect cache)
+	BrIndCall                    // indirect call (pushes return address)
+
+	numBranchKinds
+)
+
+var branchKindNames = [...]string{
+	BrNone:     "none",
+	BrCond:     "cond",
+	BrUncond:   "uncond",
+	BrCall:     "call",
+	BrRet:      "ret",
+	BrIndirect: "indirect",
+	BrIndCall:  "indcall",
+}
+
+func (k BranchKind) String() string {
+	if int(k) < len(branchKindNames) {
+		return branchKindNames[k]
+	}
+	return fmt.Sprintf("BranchKind(%d)", uint8(k))
+}
+
+// IsBranch reports whether k is any control transfer.
+func (k BranchKind) IsBranch() bool { return k != BrNone && k < numBranchKinds }
+
+// IsDirect reports whether the target is encoded in the instruction
+// (PC-relative displacement), which is what AirBTB stores.
+func (k BranchKind) IsDirect() bool {
+	return k == BrCond || k == BrUncond || k == BrCall
+}
+
+// IsCall reports whether k pushes a return address.
+func (k BranchKind) IsCall() bool { return k == BrCall || k == BrIndCall }
+
+// IsUnconditional reports whether the branch is always taken when executed.
+func (k BranchKind) IsUnconditional() bool { return k.IsBranch() && k != BrCond }
+
+// Opcode classes. Branch classes intentionally occupy a contiguous range so
+// the predecoder can identify them with a single comparison.
+const (
+	opALU   = 0x0
+	opLoad  = 0x1
+	opStore = 0x2
+	opNop   = 0x3
+
+	opBrCond   = 0x8
+	opBrUncond = 0x9
+	opCall     = 0xA
+	opRet      = 0xB
+	opIndirect = 0xC
+	opIndCall  = 0xD
+)
+
+// dispBits is the width of the signed PC-relative displacement field,
+// measured in instruction words.
+const dispBits = 24
+
+// MaxDisp and MinDisp bound the reachable displacement (in instructions).
+const (
+	MaxDisp = 1<<(dispBits-1) - 1
+	MinDisp = -(1 << (dispBits - 1))
+)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Kind BranchKind // BrNone for non-branches
+	Disp int32      // signed displacement in instructions (direct branches)
+}
+
+// Word is a raw 32-bit instruction word.
+type Word = uint32
+
+var opForKind = map[BranchKind]uint32{
+	BrCond:     opBrCond,
+	BrUncond:   opBrUncond,
+	BrCall:     opCall,
+	BrRet:      opRet,
+	BrIndirect: opIndirect,
+	BrIndCall:  opIndCall,
+}
+
+var kindForOp = map[uint32]BranchKind{
+	opBrCond:   BrCond,
+	opBrUncond: BrUncond,
+	opCall:     BrCall,
+	opRet:      BrRet,
+	opIndirect: BrIndirect,
+	opIndCall:  BrIndCall,
+}
+
+// Encode packs an instruction into a word. Non-branch instructions encode as
+// a plain ALU op; Disp must fit in the displacement field for direct kinds.
+func Encode(in Instr) (Word, error) {
+	if in.Kind == BrNone {
+		return opALU << 28, nil
+	}
+	op, ok := opForKind[in.Kind]
+	if !ok {
+		return 0, fmt.Errorf("isa: cannot encode branch kind %v", in.Kind)
+	}
+	w := op << 28
+	if in.Kind.IsDirect() {
+		if in.Disp > MaxDisp || in.Disp < MinDisp {
+			return 0, fmt.Errorf("isa: displacement %d out of range [%d,%d]", in.Disp, MinDisp, MaxDisp)
+		}
+		w |= uint32(in.Disp) & (1<<dispBits - 1)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for callers that construct valid instructions by
+// construction (e.g. the program layout engine).
+func MustEncode(in Instr) Word {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a word.
+func Decode(w Word) Instr {
+	op := w >> 28
+	kind, ok := kindForOp[op]
+	if !ok {
+		return Instr{Kind: BrNone}
+	}
+	in := Instr{Kind: kind}
+	if kind.IsDirect() {
+		d := w & (1<<dispBits - 1)
+		// Sign-extend the 24-bit field.
+		if d&(1<<(dispBits-1)) != 0 {
+			d |= 0xFF << dispBits
+		}
+		in.Disp = int32(d)
+	}
+	return in
+}
+
+// Target computes the byte target address of a direct branch at pc.
+func Target(pc Addr, disp int32) Addr {
+	return Addr(int64(pc) + int64(disp)*InstrBytes)
+}
+
+// Disp computes the instruction displacement from pc to target.
+// It returns an error when the distance is not representable.
+func Disp(pc, target Addr) (int32, error) {
+	d := (int64(target) - int64(pc)) / InstrBytes
+	if (int64(target)-int64(pc))%InstrBytes != 0 {
+		return 0, fmt.Errorf("isa: unaligned branch distance %#x -> %#x", pc, target)
+	}
+	if d > MaxDisp || d < MinDisp {
+		return 0, fmt.Errorf("isa: branch distance %d out of range", d)
+	}
+	return int32(d), nil
+}

@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockGeometry(t *testing.T) {
+	if InstrPerBlock != 16 {
+		t.Fatalf("InstrPerBlock = %d, want 16", InstrPerBlock)
+	}
+	cases := []struct {
+		addr  Addr
+		block Addr
+		index int
+	}{
+		{0x1000, 0x1000, 0},
+		{0x1004, 0x1000, 1},
+		{0x103C, 0x1000, 15},
+		{0x1040, 0x1040, 0},
+		{0x0, 0x0, 0},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.block {
+			t.Errorf("BlockOf(%#x) = %#x, want %#x", c.addr, got, c.block)
+		}
+		if got := BlockIndex(c.addr); got != c.index {
+			t.Errorf("BlockIndex(%#x) = %d, want %d", c.addr, got, c.index)
+		}
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !Aligned(0x1000) || !Aligned(4) {
+		t.Error("aligned addresses reported unaligned")
+	}
+	if Aligned(0x1001) || Aligned(2) {
+		t.Error("unaligned addresses reported aligned")
+	}
+}
+
+func TestBranchKindPredicates(t *testing.T) {
+	cases := []struct {
+		k                            BranchKind
+		branch, direct, call, uncond bool
+	}{
+		{BrNone, false, false, false, false},
+		{BrCond, true, true, false, false},
+		{BrUncond, true, true, false, true},
+		{BrCall, true, true, true, true},
+		{BrRet, true, false, false, true},
+		{BrIndirect, true, false, false, true},
+		{BrIndCall, true, false, true, true},
+	}
+	for _, c := range cases {
+		if c.k.IsBranch() != c.branch {
+			t.Errorf("%v.IsBranch() = %v", c.k, !c.branch)
+		}
+		if c.k.IsDirect() != c.direct {
+			t.Errorf("%v.IsDirect() = %v", c.k, !c.direct)
+		}
+		if c.k.IsCall() != c.call {
+			t.Errorf("%v.IsCall() = %v", c.k, !c.call)
+		}
+		if c.k.IsUnconditional() != c.uncond {
+			t.Errorf("%v.IsUnconditional() = %v", c.k, !c.uncond)
+		}
+	}
+}
+
+func TestBranchKindString(t *testing.T) {
+	if BrCond.String() != "cond" || BrRet.String() != "ret" {
+		t.Errorf("unexpected names: %v %v", BrCond, BrRet)
+	}
+	if got := BranchKind(99).String(); got != "BranchKind(99)" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	kinds := []BranchKind{BrCond, BrUncond, BrCall, BrRet, BrIndirect, BrIndCall}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 2000; i++ {
+		k := kinds[rng.IntN(len(kinds))]
+		in := Instr{Kind: k}
+		if k.IsDirect() {
+			in.Disp = int32(rng.IntN(MaxDisp-MinDisp+1)) + MinDisp
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got := Decode(w)
+		if got != in {
+			t.Fatalf("round trip: encoded %+v, decoded %+v", in, got)
+		}
+	}
+}
+
+func TestEncodeNonBranch(t *testing.T) {
+	w, err := Encode(Instr{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(w); got.Kind != BrNone {
+		t.Errorf("non-branch decoded as %v", got.Kind)
+	}
+}
+
+func TestEncodeDispOutOfRange(t *testing.T) {
+	for _, d := range []int32{MaxDisp + 1, MinDisp - 1} {
+		if _, err := Encode(Instr{Kind: BrUncond, Disp: d}); err == nil {
+			t.Errorf("Encode with disp %d: want error", d)
+		}
+	}
+	// Boundary values must encode.
+	for _, d := range []int32{MaxDisp, MinDisp, 0, -1, 1} {
+		if _, err := Encode(Instr{Kind: BrCond, Disp: d}); err != nil {
+			t.Errorf("Encode with disp %d: %v", d, err)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode with bad disp did not panic")
+		}
+	}()
+	MustEncode(Instr{Kind: BrCall, Disp: MaxDisp + 1})
+}
+
+func TestTargetDispInverse(t *testing.T) {
+	f := func(pcRaw uint32, dRaw int32) bool {
+		pc := Addr(pcRaw) &^ 3 // aligned
+		d := dRaw % (MaxDisp / 2)
+		target := Target(pc, d)
+		back, err := Disp(pc, target)
+		if int64(pc)+int64(d)*InstrBytes < 0 {
+			return true // wrapped below zero; not a meaningful program address
+		}
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDispErrors(t *testing.T) {
+	if _, err := Disp(0x1000, 0x1002); err == nil {
+		t.Error("unaligned distance: want error")
+	}
+	if _, err := Disp(0, Addr(MaxDisp+1)*InstrBytes); err == nil {
+		t.Error("distance out of range: want error")
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	// Opcode classes 0x4..0x7, 0xE, 0xF are undefined; they decode as
+	// non-branches.
+	for _, op := range []uint32{0x4, 0x5, 0x6, 0x7, 0xE, 0xF} {
+		if got := Decode(op << 28); got.Kind != BrNone {
+			t.Errorf("opcode %#x decoded as %v", op, got.Kind)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package isa
+
+import "encoding/binary"
+
+// PredecodedBranch is the metadata Confluence extracts from an instruction
+// block as it is filled into the L1-I: the branch's slot within the block,
+// its kind, and — for direct branches — its absolute target.
+type PredecodedBranch struct {
+	Offset uint8      // instruction slot within the block, 0..15
+	Kind   BranchKind // never BrNone
+	Target Addr       // valid only for direct kinds
+}
+
+// PC returns the branch's full instruction address given its block base.
+func (b PredecodedBranch) PC(block Addr) Addr {
+	return block + Addr(b.Offset)*InstrBytes
+}
+
+// Predecode scans one 64-byte instruction block and returns its branches in
+// block order. data must hold at least BlockBytes bytes; block is the block's
+// base address (used to materialize PC-relative targets).
+//
+// This models the few-cycle branch scan Confluence performs before a block
+// is inserted into the L1-I (paper §3.2). The scan appends results to dst to
+// let callers reuse storage.
+func Predecode(dst []PredecodedBranch, data []byte, block Addr) []PredecodedBranch {
+	_ = data[BlockBytes-1] // bounds hint
+	for i := 0; i < InstrPerBlock; i++ {
+		w := binary.LittleEndian.Uint32(data[i*InstrBytes:])
+		in := Decode(w)
+		if in.Kind == BrNone {
+			continue
+		}
+		pb := PredecodedBranch{Offset: uint8(i), Kind: in.Kind}
+		if in.Kind.IsDirect() {
+			pb.Target = Target(block+Addr(i*InstrBytes), in.Disp)
+		}
+		dst = append(dst, pb)
+	}
+	return dst
+}
+
+// BranchBitmap returns the 16-bit bitmap marking branch slots in the block,
+// the representation AirBTB keeps per bundle.
+func BranchBitmap(branches []PredecodedBranch) uint16 {
+	var bm uint16
+	for _, b := range branches {
+		bm |= 1 << b.Offset
+	}
+	return bm
+}

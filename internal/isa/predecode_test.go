@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+)
+
+// buildBlock assembles a 64B block with branches at the given offsets.
+func buildBlock(t *testing.T, base Addr, branches map[int]Instr) []byte {
+	t.Helper()
+	data := make([]byte, BlockBytes)
+	for i := 0; i < InstrPerBlock; i++ {
+		in, ok := branches[i]
+		if !ok {
+			in = Instr{}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(data[i*InstrBytes:], w)
+	}
+	return data
+}
+
+func TestPredecodeFindsAllBranches(t *testing.T) {
+	base := Addr(0x4000)
+	branches := map[int]Instr{
+		1:  {Kind: BrCond, Disp: 5},
+		3:  {Kind: BrUncond, Disp: -2},
+		7:  {Kind: BrCall, Disp: 100},
+		9:  {Kind: BrRet},
+		15: {Kind: BrIndirect},
+	}
+	data := buildBlock(t, base, branches)
+	got := Predecode(nil, data, base)
+	if len(got) != len(branches) {
+		t.Fatalf("predecode found %d branches, want %d", len(got), len(branches))
+	}
+	for _, pb := range got {
+		want, ok := branches[int(pb.Offset)]
+		if !ok {
+			t.Fatalf("predecode invented a branch at offset %d", pb.Offset)
+		}
+		if pb.Kind != want.Kind {
+			t.Errorf("offset %d: kind %v, want %v", pb.Offset, pb.Kind, want.Kind)
+		}
+		if want.Kind.IsDirect() {
+			wantTarget := Target(base+Addr(int(pb.Offset)*InstrBytes), want.Disp)
+			if pb.Target != wantTarget {
+				t.Errorf("offset %d: target %#x, want %#x", pb.Offset, pb.Target, wantTarget)
+			}
+		}
+		if pb.PC(base) != base+Addr(int(pb.Offset)*InstrBytes) {
+			t.Errorf("PC() mismatch at offset %d", pb.Offset)
+		}
+	}
+}
+
+func TestPredecodeEmptyBlock(t *testing.T) {
+	data := buildBlock(t, 0x4000, nil)
+	if got := Predecode(nil, data, 0x4000); len(got) != 0 {
+		t.Errorf("branch-free block predecoded %d branches", len(got))
+	}
+}
+
+func TestPredecodeAppendsToDst(t *testing.T) {
+	base := Addr(0x4000)
+	data := buildBlock(t, base, map[int]Instr{2: {Kind: BrRet}})
+	seed := []PredecodedBranch{{Offset: 9, Kind: BrCall}}
+	got := Predecode(seed, data, base)
+	if len(got) != 2 || got[0] != seed[0] {
+		t.Errorf("Predecode must append to dst; got %+v", got)
+	}
+}
+
+func TestPredecodeOrder(t *testing.T) {
+	base := Addr(0)
+	data := buildBlock(t, base, map[int]Instr{
+		12: {Kind: BrRet}, 0: {Kind: BrCond, Disp: 1}, 5: {Kind: BrUncond, Disp: 2},
+	})
+	got := Predecode(nil, data, base)
+	for i := 1; i < len(got); i++ {
+		if got[i].Offset <= got[i-1].Offset {
+			t.Fatalf("predecode out of block order: %+v", got)
+		}
+	}
+}
+
+func TestBranchBitmap(t *testing.T) {
+	pbs := []PredecodedBranch{{Offset: 0}, {Offset: 3}, {Offset: 15}}
+	want := uint16(1)<<0 | 1<<3 | 1<<15
+	if got := BranchBitmap(pbs); got != want {
+		t.Errorf("bitmap = %#x, want %#x", got, want)
+	}
+	if BranchBitmap(nil) != 0 {
+		t.Error("empty bitmap should be 0")
+	}
+}
+
+func TestPredecodeRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	kinds := []BranchKind{BrCond, BrUncond, BrCall, BrRet, BrIndirect, BrIndCall}
+	for trial := 0; trial < 200; trial++ {
+		base := Addr(rng.Uint64()&0xFFFF_FFFF) &^ (BlockBytes - 1)
+		want := map[int]Instr{}
+		for i := 0; i < InstrPerBlock; i++ {
+			if rng.Float64() < 0.3 {
+				k := kinds[rng.IntN(len(kinds))]
+				in := Instr{Kind: k}
+				if k.IsDirect() {
+					in.Disp = int32(rng.IntN(2000) - 1000)
+				}
+				want[i] = in
+			}
+		}
+		data := buildBlock(t, base, want)
+		got := Predecode(nil, data, base)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d branches, want %d", trial, len(got), len(want))
+		}
+		for _, pb := range got {
+			if want[int(pb.Offset)].Kind != pb.Kind {
+				t.Fatalf("trial %d: offset %d kind mismatch", trial, pb.Offset)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+func TestAccessLatencyLLCMissThenHit(t *testing.T) {
+	h := New(DefaultConfig(), 0)
+	block := isa.Addr(0x40_0000)
+	lat1, hit1 := h.AccessLatency(0, block)
+	if hit1 {
+		t.Error("cold access hit the LLC")
+	}
+	lat2, hit2 := h.AccessLatency(0, block)
+	if !hit2 {
+		t.Error("second access missed the LLC")
+	}
+	if lat1 != lat2+h.Config().MemCycles {
+		t.Errorf("miss latency %d, hit latency %d, memory %d", lat1, lat2, h.Config().MemCycles)
+	}
+	if h.LLCHits != 1 || h.LLCMisses != 1 {
+		t.Errorf("counters hits=%d misses=%d", h.LLCHits, h.LLCMisses)
+	}
+}
+
+func TestAccessLatencyDependsOnDistance(t *testing.T) {
+	h := New(DefaultConfig(), 0)
+	// Warm a block whose bank is tile 0.
+	block := isa.Addr(0) // bank = (0>>6)%16 = 0
+	h.AccessLatency(0, block)
+	latNear, _ := h.AccessLatency(0, block) // core 0 -> bank 0: local
+	latFar, _ := h.AccessLatency(15, block) // core 15 -> bank 0: 6 hops
+	if latNear != h.Config().LLCHitCycles {
+		t.Errorf("local hit latency %d, want %d", latNear, h.Config().LLCHitCycles)
+	}
+	if latFar <= latNear {
+		t.Errorf("far access (%d) not slower than local (%d)", latFar, latNear)
+	}
+}
+
+func TestConsecutiveBlocksUseDistinctSets(t *testing.T) {
+	// Regression: block addresses have six zero low bits; the tag store
+	// must index sets by block number, not raw address, or 64 consecutive
+	// blocks collide in one set.
+	h := New(DefaultConfig(), 0)
+	base := isa.Addr(0x40_0000)
+	n := h.Config().LLCWays * 4
+	for i := 0; i < n; i++ {
+		h.AccessLatency(0, base+isa.Addr(i*isa.BlockBytes))
+	}
+	for i := 0; i < n; i++ {
+		if !h.LLC().Contains(uint64(base)>>isa.BlockShift + uint64(i)) {
+			t.Fatalf("block %d evicted: consecutive blocks are colliding in one set", i)
+		}
+	}
+}
+
+func TestReservationReducesCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	full := New(cfg, 0)
+	reserved := New(cfg, 1<<20) // 1MB of metadata
+	if reserved.LLC().Capacity() >= full.LLC().Capacity() {
+		t.Errorf("reservation did not shrink LLC: %d vs %d",
+			reserved.LLC().Capacity(), full.LLC().Capacity())
+	}
+	if reserved.ReservedBlocks() != (1<<20)/isa.BlockBytes {
+		t.Errorf("ReservedBlocks = %d", reserved.ReservedBlocks())
+	}
+}
+
+func TestMetadataLatency(t *testing.T) {
+	h := New(DefaultConfig(), 256<<10)
+	lat := h.MetadataLatency(0, 0)
+	if lat < h.Config().LLCHitCycles {
+		t.Errorf("metadata latency %d below bank access time", lat)
+	}
+	// Metadata reads never pay the memory penalty.
+	if lat >= h.Config().MemCycles {
+		t.Errorf("metadata latency %d looks like a memory access", lat)
+	}
+}
+
+func TestAvgLLCLatency(t *testing.T) {
+	h := New(DefaultConfig(), 0)
+	avg := h.AvgLLCLatency(0)
+	min := float64(h.Config().LLCHitCycles)
+	if avg <= min || avg > min+36 {
+		t.Errorf("avg LLC latency %v out of range", avg)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := New(DefaultConfig(), 0)
+	h.AccessLatency(0, 0x1000)
+	h.ResetStats()
+	if h.LLCHits != 0 || h.LLCMisses != 0 {
+		t.Error("ResetStats left counters")
+	}
+	// Content survives reset (warmup semantics).
+	if _, hit := h.AccessLatency(0, 0x1000); !hit {
+		t.Error("ResetStats dropped LLC content")
+	}
+}

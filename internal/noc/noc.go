@@ -1,0 +1,58 @@
+// Package noc models the on-chip interconnect of the tiled CMP: a 2D mesh
+// with one core + one LLC slice per tile, dimension-order routed, with a
+// fixed per-hop latency. It supplies the round-trip network component of
+// every LLC access — the latency SHIFT and Confluence hide and reactive BTB
+// hierarchies expose.
+package noc
+
+import "fmt"
+
+// Mesh is a Width x Height 2D mesh. Tile i sits at (i%Width, i/Width).
+type Mesh struct {
+	Width, Height int
+	CyclesPerHop  int
+}
+
+// New creates a mesh; the paper's configuration is 4x4 with 3 cycles/hop.
+func New(width, height, cyclesPerHop int) *Mesh {
+	if width <= 0 || height <= 0 || cyclesPerHop < 0 {
+		panic(fmt.Sprintf("noc: bad mesh %dx%d @%d", width, height, cyclesPerHop))
+	}
+	return &Mesh{Width: width, Height: height, CyclesPerHop: cyclesPerHop}
+}
+
+// Tiles returns the tile count.
+func (m *Mesh) Tiles() int { return m.Width * m.Height }
+
+// Coord returns the (x, y) position of tile t.
+func (m *Mesh) Coord(t int) (x, y int) { return t % m.Width, t / m.Width }
+
+// Hops returns the Manhattan hop count between two tiles.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// RoundTrip returns the request+response network latency in cycles between
+// two tiles.
+func (m *Mesh) RoundTrip(a, b int) int {
+	return 2 * m.Hops(a, b) * m.CyclesPerHop
+}
+
+// AvgRoundTrip returns the mean round-trip latency from tile a to all tiles
+// (address-interleaved LLC banks make this the expected network cost).
+func (m *Mesh) AvgRoundTrip(a int) float64 {
+	total := 0
+	for t := 0; t < m.Tiles(); t++ {
+		total += m.RoundTrip(a, t)
+	}
+	return float64(total) / float64(m.Tiles())
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,70 @@
+package noc
+
+import "testing"
+
+func TestCoord(t *testing.T) {
+	m := New(4, 4, 3)
+	cases := []struct{ tile, x, y int }{
+		{0, 0, 0}, {3, 3, 0}, {4, 0, 1}, {15, 3, 3},
+	}
+	for _, c := range cases {
+		x, y := m.Coord(c.tile)
+		if x != c.x || y != c.y {
+			t.Errorf("Coord(%d) = (%d,%d), want (%d,%d)", c.tile, x, y, c.x, c.y)
+		}
+	}
+	if m.Tiles() != 16 {
+		t.Errorf("Tiles = %d", m.Tiles())
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := New(4, 4, 3)
+	cases := []struct{ a, b, hops int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6}, // corner to corner: 3+3
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.a, c.b); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.hops)
+		}
+		if m.Hops(c.a, c.b) != m.Hops(c.b, c.a) {
+			t.Error("hops not symmetric")
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := New(4, 4, 3)
+	if got := m.RoundTrip(0, 15); got != 36 { // 6 hops * 3 cyc * 2 ways
+		t.Errorf("RoundTrip corner-to-corner = %d, want 36", got)
+	}
+	if got := m.RoundTrip(5, 5); got != 0 {
+		t.Errorf("local round trip = %d", got)
+	}
+}
+
+func TestAvgRoundTripBounds(t *testing.T) {
+	m := New(4, 4, 3)
+	center := m.AvgRoundTrip(5) // near-center tile
+	corner := m.AvgRoundTrip(0) // corner tile
+	if center >= corner {
+		t.Errorf("center avg (%v) should beat corner avg (%v)", center, corner)
+	}
+	if corner > 36 || center <= 0 {
+		t.Errorf("averages out of range: center=%v corner=%v", center, corner)
+	}
+}
+
+func TestNewPanicsOnBadMesh(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad mesh did not panic")
+		}
+	}()
+	New(0, 4, 3)
+}

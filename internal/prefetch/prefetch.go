@@ -1,0 +1,45 @@
+// Package prefetch defines the interface between the frontend timing model
+// and instruction prefetchers (SHIFT, FDP), plus a null implementation for
+// the no-prefetch baseline.
+package prefetch
+
+import "confluence/internal/isa"
+
+// Request asks the frontend to schedule a block fill. The frontend computes
+// the fill's completion time as now + ExtraDelay + hierarchy latency;
+// negative ExtraDelay models lookahead already banked by the prefetcher
+// (FDP's run-ahead), positive models serialized metadata reads (SHIFT's
+// index and history accesses in the LLC).
+type Request struct {
+	Block      isa.Addr
+	ExtraDelay float64
+}
+
+// Prefetcher is driven by the frontend on every fetch region and L1-I block
+// access.
+type Prefetcher interface {
+	Name() string
+	// OnAccess observes a demand block access; miss reports whether the
+	// block was absent from the L1-I (in-flight fills count as present).
+	OnAccess(now float64, block isa.Addr, miss bool) []Request
+	// OnRegion observes a fetch region emitted by the BPU.
+	OnRegion(now float64, start isa.Addr, nInstr int) []Request
+	// Redirect observes a pipeline redirect (misfetch or misprediction),
+	// which destroys any BPU run-ahead.
+	Redirect(now float64)
+}
+
+// Null is the no-prefetch baseline.
+type Null struct{}
+
+// Name implements Prefetcher.
+func (Null) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (Null) OnAccess(float64, isa.Addr, bool) []Request { return nil }
+
+// OnRegion implements Prefetcher.
+func (Null) OnRegion(float64, isa.Addr, int) []Request { return nil }
+
+// Redirect implements Prefetcher.
+func (Null) Redirect(float64) {}

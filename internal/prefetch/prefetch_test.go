@@ -1,0 +1,20 @@
+package prefetch
+
+import "testing"
+
+func TestNullDoesNothing(t *testing.T) {
+	var n Null
+	if n.Name() != "none" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if got := n.OnAccess(0, 0x1000, true); got != nil {
+		t.Error("Null issued prefetches on access")
+	}
+	if got := n.OnRegion(0, 0x1000, 8); got != nil {
+		t.Error("Null issued prefetches on region")
+	}
+	n.Redirect(0) // must not panic
+}
+
+// Compile-time check: Null satisfies the interface it documents.
+var _ Prefetcher = Null{}

@@ -1,0 +1,124 @@
+package program
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"confluence/internal/isa"
+)
+
+// Flat serialization: pointers in the in-memory form create cycles (Fall
+// edges), which gob cannot encode, so Save/Load round-trip through an
+// index-based representation.
+
+type flatBranch struct {
+	Kind      isa.BranchKind
+	Target    isa.Addr
+	TakenBias float64
+	Loop      LoopKind
+	TripMean  int
+	Targets   []isa.Addr
+}
+
+type flatBlock struct {
+	Addr   isa.Addr
+	NInstr int
+	Branch *flatBranch
+	// FallIdx is the index (into the flat block list) of the explicit
+	// fall-through successor, or -1 when adjacency implies it / none.
+	FallIdx int
+}
+
+type flatFunc struct {
+	ID     int
+	Name   string
+	Layer  int
+	Blocks []int // indices into the flat block list
+}
+
+type flatProgram struct {
+	Name  string
+	Base  isa.Addr
+	Block []flatBlock
+	Func  []flatFunc
+}
+
+// Save writes the program in a self-contained binary form.
+func (p *Program) Save(w io.Writer) error {
+	fp := flatProgram{Name: p.Name, Base: p.Base}
+	idx := make(map[*BasicBlock]int, len(p.blocks))
+	for i, b := range p.blocks {
+		idx[b] = i
+	}
+	for i, b := range p.blocks {
+		fb := flatBlock{Addr: b.Addr, NInstr: b.NInstr, FallIdx: -1}
+		if b.Fall != nil {
+			// Record only address-adjacent fall edges implicitly; anything
+			// else (layout gaps) must be stored explicitly.
+			adjacent := i+1 < len(p.blocks) && p.blocks[i+1] == b.Fall && b.Fall.Addr == b.End()
+			if !adjacent {
+				fb.FallIdx = idx[b.Fall]
+			}
+		}
+		if br := b.Branch; br != nil {
+			fb.Branch = &flatBranch{
+				Kind: br.Kind, Target: br.Target,
+				TakenBias: br.TakenBias, Loop: br.Loop, TripMean: br.TripMean,
+				Targets: br.Targets,
+			}
+		}
+		fp.Block = append(fp.Block, fb)
+	}
+	for _, f := range p.Funcs {
+		ff := flatFunc{ID: f.ID, Name: f.Name, Layer: f.Layer}
+		for _, b := range f.Blocks {
+			ff.Blocks = append(ff.Blocks, idx[b])
+		}
+		fp.Func = append(fp.Func, ff)
+	}
+	return gob.NewEncoder(w).Encode(&fp)
+}
+
+// Load reads a program written by Save and finalizes it.
+func Load(r io.Reader) (*Program, error) {
+	var fp flatProgram
+	if err := gob.NewDecoder(r).Decode(&fp); err != nil {
+		return nil, fmt.Errorf("program: load: %w", err)
+	}
+	blocks := make([]*BasicBlock, len(fp.Block))
+	for i, fb := range fp.Block {
+		b := &BasicBlock{Addr: fb.Addr, NInstr: fb.NInstr}
+		if fb.Branch != nil {
+			b.Branch = &BranchSite{
+				Kind: fb.Branch.Kind, Target: fb.Branch.Target,
+				TakenBias: fb.Branch.TakenBias, Loop: fb.Branch.Loop, TripMean: fb.Branch.TripMean,
+				Targets: fb.Branch.Targets,
+			}
+		}
+		blocks[i] = b
+	}
+	for i, fb := range fp.Block {
+		if fb.FallIdx >= 0 {
+			if fb.FallIdx >= len(blocks) {
+				return nil, fmt.Errorf("program: load: bad fall index %d", fb.FallIdx)
+			}
+			blocks[i].Fall = blocks[fb.FallIdx]
+		}
+	}
+	p := &Program{Name: fp.Name, Base: fp.Base}
+	for _, ff := range fp.Func {
+		f := &Function{ID: ff.ID, Name: ff.Name, Layer: ff.Layer}
+		for _, bi := range ff.Blocks {
+			if bi >= len(blocks) {
+				return nil, fmt.Errorf("program: load: bad block index %d", bi)
+			}
+			f.Blocks = append(f.Blocks, blocks[bi])
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, fmt.Errorf("program: load: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,104 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, _ := tinyProgram(t)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if q.Name != p.Name || q.Base != p.Base {
+		t.Error("metadata lost")
+	}
+	if len(q.Funcs) != len(p.Funcs) {
+		t.Fatalf("functions: %d, want %d", len(q.Funcs), len(p.Funcs))
+	}
+	pb, qb := p.Blocks(), q.Blocks()
+	if len(pb) != len(qb) {
+		t.Fatalf("blocks: %d, want %d", len(qb), len(pb))
+	}
+	for i := range pb {
+		if pb[i].Addr != qb[i].Addr || pb[i].NInstr != qb[i].NInstr {
+			t.Errorf("block %d shape mismatch", i)
+		}
+		a, b := pb[i].Branch, qb[i].Branch
+		if (a == nil) != (b == nil) {
+			t.Fatalf("block %d branch presence mismatch", i)
+		}
+		if a != nil && (a.Kind != b.Kind || a.Target != b.Target || a.TakenBias != b.TakenBias) {
+			t.Errorf("block %d branch payload mismatch", i)
+		}
+	}
+	// Images must be identical byte for byte.
+	pi, _ := p.Image()
+	qi, _ := q.Image()
+	if !bytes.Equal(pi, qi) {
+		t.Error("images differ after round trip")
+	}
+}
+
+func TestSaveLoadPreservesLoopMetadata(t *testing.T) {
+	base := isa.Addr(0x3000)
+	b0 := &BasicBlock{Addr: base, NInstr: 2}
+	b1 := &BasicBlock{Addr: b0.End(), NInstr: 2, Branch: &BranchSite{Kind: isa.BrRet}}
+	b0.Branch = &BranchSite{
+		Kind: isa.BrCond, Target: base,
+		Loop: LoopBackEdge, TripMean: 7, TakenBias: 0.875,
+	}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0, b1}}}}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := q.Blocks()[0].Branch
+	if br.Loop != LoopBackEdge || br.TripMean != 7 {
+		t.Errorf("loop metadata lost: %+v", br)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a program"))); err == nil {
+		t.Error("garbage input: want error")
+	}
+}
+
+func TestSaveLoadNonAdjacentFall(t *testing.T) {
+	// A fall edge that adjacency cannot recompute (block gap) must survive.
+	base := isa.Addr(0x4000)
+	b0 := &BasicBlock{Addr: base, NInstr: 2}
+	b1 := &BasicBlock{Addr: base + 64, NInstr: 2, Branch: &BranchSite{Kind: isa.BrRet}}
+	b0.Fall = b1
+	b0.Branch = &BranchSite{Kind: isa.BrCond, Target: b1.Addr, TakenBias: 0.5}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0, b1}}}}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Blocks()[0].Fall != q.Blocks()[1] {
+		t.Error("explicit fall edge lost")
+	}
+}

@@ -1,0 +1,331 @@
+// Package program models a static program: functions made of basic blocks
+// laid out in a flat address space, each block optionally ending in a branch
+// site. A program can materialize itself into a binary image using the
+// synthetic ISA, which the simulator's predecoder then scans — the same image
+// the L1-I notionally caches.
+//
+// Programs are produced by package synth and executed (walked) by package
+// trace; every instruction-supply mechanism in the simulator ultimately
+// consumes either the static structure (layout, branch sites) or the dynamic
+// walk (the control-flow stream).
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"confluence/internal/isa"
+)
+
+// LoopKind classifies conditional branch sites that control loops; the
+// executor gives them quasi-deterministic per-site trip counts (predictable
+// control flow, like real loop bounds) instead of per-visit coin flips.
+type LoopKind uint8
+
+const (
+	// NotLoop: an ordinary conditional, governed by TakenBias.
+	NotLoop LoopKind = iota
+	// LoopExitHeader: while-style header; taken means *exit* the loop.
+	LoopExitHeader
+	// LoopBackEdge: do-while-style back edge; taken means *continue*.
+	LoopBackEdge
+)
+
+// BranchSite is the static description of the control transfer ending a
+// basic block.
+type BranchSite struct {
+	PC   isa.Addr       // address of the branch instruction
+	Kind isa.BranchKind // never BrNone
+
+	// Target is the static target for direct branches (cond/uncond/call).
+	Target isa.Addr
+
+	// TakenBias is the probability a non-loop conditional branch is taken
+	// on a given execution. Unconditional kinds ignore it (always taken).
+	TakenBias float64
+
+	// Loop marks loop-controlling conditionals; TripMean is the site's
+	// characteristic iteration count (executions jitter slightly around
+	// it).
+	Loop     LoopKind
+	TripMean int
+
+	// Targets lists the candidate targets of indirect branches/calls.
+	Targets []isa.Addr
+
+	// Resolved pointers, filled by Program.link.
+	TargetBlock  *BasicBlock
+	TargetBlocks []*BasicBlock
+}
+
+// BasicBlock is a straight-line run of instructions. If Branch is non-nil it
+// is the final instruction of the block; otherwise the block falls through
+// into Fall.
+type BasicBlock struct {
+	Addr   isa.Addr
+	NInstr int
+	Branch *BranchSite // nil => fall-through block
+
+	// Fall is the next block in layout order (the fall-through successor and,
+	// for calls, the return point). Nil only for the final block of the
+	// program image, which must end in an unconditional transfer.
+	Fall *BasicBlock
+
+	// Func is the owning function, filled by link.
+	Func *Function
+}
+
+// End returns the address one past the last instruction of the block.
+func (b *BasicBlock) End() isa.Addr { return b.Addr + isa.Addr(b.NInstr*isa.InstrBytes) }
+
+// LastPC returns the address of the final instruction of the block.
+func (b *BasicBlock) LastPC() isa.Addr { return b.Addr + isa.Addr((b.NInstr-1)*isa.InstrBytes) }
+
+// Function is a contiguous sequence of basic blocks with a single entry.
+type Function struct {
+	ID     int
+	Name   string
+	Layer  int // depth in the layered call graph (0 = request entry)
+	Blocks []*BasicBlock
+}
+
+// Entry returns the function's entry block.
+func (f *Function) Entry() *BasicBlock { return f.Blocks[0] }
+
+// Program is a complete laid-out program.
+type Program struct {
+	Name  string
+	Base  isa.Addr
+	Funcs []*Function
+
+	blocks  []*BasicBlock // all blocks, ascending address
+	byAddr  map[isa.Addr]*BasicBlock
+	image   []byte
+	imgBase isa.Addr
+
+	predecoded map[isa.Addr][]isa.PredecodedBranch
+}
+
+// Blocks returns all basic blocks in ascending address order.
+func (p *Program) Blocks() []*BasicBlock { return p.blocks }
+
+// BlockAt returns the basic block starting exactly at addr, or nil.
+func (p *Program) BlockAt(addr isa.Addr) *BasicBlock { return p.byAddr[addr] }
+
+// Image returns the program's binary image and its base address.
+func (p *Program) Image() ([]byte, isa.Addr) { return p.image, p.imgBase }
+
+// FootprintBytes returns the size of the laid-out image in bytes.
+func (p *Program) FootprintBytes() int { return len(p.image) }
+
+// NumCacheBlocks returns the number of 64B blocks the image spans.
+func (p *Program) NumCacheBlocks() int {
+	return (len(p.image) + isa.BlockBytes - 1) / isa.BlockBytes
+}
+
+// Finalize indexes blocks, resolves branch-target pointers, and materializes
+// the binary image. It must be called once after construction (synth does).
+func (p *Program) Finalize() error {
+	p.blocks = p.blocks[:0]
+	p.byAddr = make(map[isa.Addr]*BasicBlock)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			b.Func = f
+			p.blocks = append(p.blocks, b)
+		}
+	}
+	sort.Slice(p.blocks, func(i, j int) bool { return p.blocks[i].Addr < p.blocks[j].Addr })
+	for _, b := range p.blocks {
+		if _, dup := p.byAddr[b.Addr]; dup {
+			return fmt.Errorf("program: duplicate block at %#x", b.Addr)
+		}
+		p.byAddr[b.Addr] = b
+	}
+	if err := p.link(); err != nil {
+		return err
+	}
+	if err := p.buildImage(); err != nil {
+		return err
+	}
+	p.predecoded = make(map[isa.Addr][]isa.PredecodedBranch)
+	return p.Validate()
+}
+
+func (p *Program) link() error {
+	for i, b := range p.blocks {
+		if i+1 < len(p.blocks) && b.Fall == nil {
+			// Fall defaults to the adjacent block when layout is contiguous.
+			if p.blocks[i+1].Addr == b.End() {
+				b.Fall = p.blocks[i+1]
+			}
+		}
+		br := b.Branch
+		if br == nil {
+			if b.Fall == nil && i+1 < len(p.blocks) {
+				return fmt.Errorf("program: fall-through block at %#x has no successor", b.Addr)
+			}
+			continue
+		}
+		br.PC = b.LastPC()
+		if br.Kind.IsDirect() {
+			tb := p.byAddr[br.Target]
+			if tb == nil {
+				return fmt.Errorf("program: branch at %#x targets %#x: no such block", br.PC, br.Target)
+			}
+			br.TargetBlock = tb
+		}
+		if br.Kind == isa.BrIndirect || br.Kind == isa.BrIndCall {
+			if len(br.Targets) == 0 {
+				return fmt.Errorf("program: indirect branch at %#x has no targets", br.PC)
+			}
+			br.TargetBlocks = br.TargetBlocks[:0]
+			for _, t := range br.Targets {
+				tb := p.byAddr[t]
+				if tb == nil {
+					return fmt.Errorf("program: indirect branch at %#x targets %#x: no such block", br.PC, t)
+				}
+				br.TargetBlocks = append(br.TargetBlocks, tb)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) buildImage() error {
+	if len(p.blocks) == 0 {
+		return fmt.Errorf("program: no blocks")
+	}
+	first := p.blocks[0].Addr
+	last := p.blocks[len(p.blocks)-1].End()
+	base := isa.BlockOf(first)
+	size := int(last - base)
+	if size%isa.BlockBytes != 0 {
+		size += isa.BlockBytes - size%isa.BlockBytes
+	}
+	img := make([]byte, size)
+	// Fill padding with NOPs (encoded zero-class words are ALU; good enough:
+	// the predecoder only cares about branch classes).
+	for _, b := range p.blocks {
+		off := int(b.Addr - base)
+		n := b.NInstr
+		if b.Branch != nil {
+			n--
+		}
+		for i := 0; i < n; i++ {
+			putWord(img, off+i*isa.InstrBytes, isa.MustEncode(isa.Instr{}))
+		}
+		if br := b.Branch; br != nil {
+			in := isa.Instr{Kind: br.Kind}
+			if br.Kind.IsDirect() {
+				d, err := isa.Disp(br.PC, br.Target)
+				if err != nil {
+					return err
+				}
+				in.Disp = d
+			}
+			w, err := isa.Encode(in)
+			if err != nil {
+				return err
+			}
+			putWord(img, off+(b.NInstr-1)*isa.InstrBytes, w)
+		}
+	}
+	p.image = img
+	p.imgBase = base
+	return nil
+}
+
+func putWord(img []byte, off int, w isa.Word) {
+	img[off] = byte(w)
+	img[off+1] = byte(w >> 8)
+	img[off+2] = byte(w >> 16)
+	img[off+3] = byte(w >> 24)
+}
+
+// PredecodeBlock returns the predecoded branches of the 64B block at base
+// (which must be block-aligned), caching results. It is the image-side
+// operation Confluence performs on every block filled into the L1-I.
+func (p *Program) PredecodeBlock(block isa.Addr) []isa.PredecodedBranch {
+	if pb, ok := p.predecoded[block]; ok {
+		return pb
+	}
+	off := int(block - p.imgBase)
+	var pb []isa.PredecodedBranch
+	if off >= 0 && off+isa.BlockBytes <= len(p.image) {
+		pb = isa.Predecode(nil, p.image[off:off+isa.BlockBytes], block)
+	}
+	p.predecoded[block] = pb
+	return pb
+}
+
+// Validate checks structural invariants: block alignment, no overlap,
+// resolved branch targets, and image/branch consistency.
+func (p *Program) Validate() error {
+	var prevEnd isa.Addr
+	for i, b := range p.blocks {
+		if !isa.Aligned(b.Addr) {
+			return fmt.Errorf("program: block %#x not instruction-aligned", b.Addr)
+		}
+		if b.NInstr <= 0 {
+			return fmt.Errorf("program: block %#x has %d instructions", b.Addr, b.NInstr)
+		}
+		if i > 0 && b.Addr < prevEnd {
+			return fmt.Errorf("program: block %#x overlaps previous (ends %#x)", b.Addr, prevEnd)
+		}
+		prevEnd = b.End()
+		if br := b.Branch; br != nil {
+			if !br.Kind.IsBranch() {
+				return fmt.Errorf("program: block %#x branch kind none", b.Addr)
+			}
+			if br.PC != b.LastPC() {
+				return fmt.Errorf("program: block %#x branch PC %#x != last instr %#x", b.Addr, br.PC, b.LastPC())
+			}
+			if br.Kind == isa.BrCond && b.Fall == nil {
+				return fmt.Errorf("program: conditional at %#x lacks fall-through", br.PC)
+			}
+			if br.Kind.IsCall() && b.Fall == nil {
+				return fmt.Errorf("program: call at %#x lacks return point", br.PC)
+			}
+		} else if b.Fall == nil && i != len(p.blocks)-1 {
+			return fmt.Errorf("program: block %#x falls off a cliff", b.Addr)
+		}
+	}
+	return nil
+}
+
+// StaticBranchStats summarizes the static branch population, matching the
+// "static" row of the paper's Table 2 when divided over occupied blocks.
+type StaticBranchStats struct {
+	Blocks          int     // 64B cache blocks occupied by code
+	Branches        int     // total branch sites
+	PerBlock        float64 // branches per occupied 64B block
+	CondFrac        float64
+	TakenSitesUpper int // sites that can ever be taken (uncond + cond)
+}
+
+// StaticStats computes the static branch census over the image.
+func (p *Program) StaticStats() StaticBranchStats {
+	occupied := make(map[isa.Addr]bool)
+	var s StaticBranchStats
+	var cond int
+	for _, b := range p.blocks {
+		for a := isa.BlockOf(b.Addr); a < b.End(); a += isa.BlockBytes {
+			occupied[a] = true
+		}
+		if b.Branch != nil {
+			s.Branches++
+			if b.Branch.Kind == isa.BrCond {
+				cond++
+			}
+			s.TakenSitesUpper++
+		}
+	}
+	s.Blocks = len(occupied)
+	if s.Blocks > 0 {
+		s.PerBlock = float64(s.Branches) / float64(s.Blocks)
+	}
+	if s.Branches > 0 {
+		s.CondFrac = float64(cond) / float64(s.Branches)
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package program
+
+import (
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+// tinyProgram builds a two-function program by hand:
+//
+//	f0: b0 [3 instr, cond -> b2]   (falls through to b1)
+//	    b1 [2 instr, call -> f1]   (returns to b2)
+//	    b2 [2 instr, ret]
+//	f1: b3 [4 instr, ret]
+func tinyProgram(t *testing.T) (*Program, []*BasicBlock) {
+	t.Helper()
+	base := isa.Addr(0x10000)
+	b0 := &BasicBlock{Addr: base, NInstr: 3}
+	b1 := &BasicBlock{Addr: b0.End(), NInstr: 2}
+	b2 := &BasicBlock{Addr: b1.End(), NInstr: 2}
+	b3 := &BasicBlock{Addr: b2.End(), NInstr: 4}
+	b0.Branch = &BranchSite{Kind: isa.BrCond, Target: b2.Addr, TakenBias: 0.5}
+	b1.Branch = &BranchSite{Kind: isa.BrCall, Target: b3.Addr}
+	b2.Branch = &BranchSite{Kind: isa.BrRet}
+	b3.Branch = &BranchSite{Kind: isa.BrRet}
+	f0 := &Function{ID: 0, Name: "f0", Blocks: []*BasicBlock{b0, b1, b2}}
+	f1 := &Function{ID: 1, Name: "f1", Layer: 1, Blocks: []*BasicBlock{b3}}
+	p := &Program{Name: "tiny", Base: base, Funcs: []*Function{f0, f1}}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return p, []*BasicBlock{b0, b1, b2, b3}
+}
+
+func TestFinalizeLinksTargetsAndFallthrough(t *testing.T) {
+	p, bs := tinyProgram(t)
+	if bs[0].Fall != bs[1] || bs[1].Fall != bs[2] {
+		t.Error("adjacent fall-through not linked")
+	}
+	if bs[0].Branch.TargetBlock != bs[2] {
+		t.Error("cond target not resolved")
+	}
+	if bs[1].Branch.TargetBlock != bs[3] {
+		t.Error("call target not resolved")
+	}
+	if bs[0].Branch.PC != bs[0].LastPC() {
+		t.Error("branch PC not set to last instruction")
+	}
+	if got := p.BlockAt(bs[2].Addr); got != bs[2] {
+		t.Error("BlockAt lookup failed")
+	}
+	if p.BlockAt(bs[2].Addr+4) != nil {
+		t.Error("BlockAt mid-block must return nil")
+	}
+}
+
+func TestImageMatchesStaticBranches(t *testing.T) {
+	p, bs := tinyProgram(t)
+	img, base := p.Image()
+	if len(img)%isa.BlockBytes != 0 {
+		t.Fatalf("image length %d not block-aligned", len(img))
+	}
+	// Every static branch must be recoverable by predecoding the image —
+	// the invariant Confluence's fill path depends on.
+	found := map[isa.Addr]isa.BranchKind{}
+	for off := 0; off < len(img); off += isa.BlockBytes {
+		block := base + isa.Addr(off)
+		for _, pb := range p.PredecodeBlock(block) {
+			found[pb.PC(block)] = pb.Kind
+		}
+	}
+	for _, b := range bs {
+		br := b.Branch
+		if found[br.PC] != br.Kind {
+			t.Errorf("branch at %#x: predecoded %v, want %v", br.PC, found[br.PC], br.Kind)
+		}
+		delete(found, br.PC)
+	}
+	if len(found) != 0 {
+		t.Errorf("image contains phantom branches: %v", found)
+	}
+}
+
+func TestPredecodeBlockDirectTargets(t *testing.T) {
+	p, bs := tinyProgram(t)
+	block := isa.BlockOf(bs[0].Branch.PC)
+	for _, pb := range p.PredecodeBlock(block) {
+		if pb.PC(block) == bs[0].Branch.PC && pb.Target != bs[0].Branch.Target {
+			t.Errorf("predecoded target %#x, want %#x", pb.Target, bs[0].Branch.Target)
+		}
+	}
+}
+
+func TestPredecodeBlockCaches(t *testing.T) {
+	p, bs := tinyProgram(t)
+	block := isa.BlockOf(bs[0].Addr)
+	a := p.PredecodeBlock(block)
+	b := p.PredecodeBlock(block)
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Error("PredecodeBlock must cache results")
+	}
+}
+
+func TestPredecodeBlockOutOfImage(t *testing.T) {
+	p, _ := tinyProgram(t)
+	if got := p.PredecodeBlock(0x9999_0000); got != nil {
+		t.Errorf("out-of-image block predecoded %d branches", len(got))
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	base := isa.Addr(0x1000)
+	b0 := &BasicBlock{Addr: base, NInstr: 4, Branch: &BranchSite{Kind: isa.BrRet}}
+	b1 := &BasicBlock{Addr: base + 8, NInstr: 2, Branch: &BranchSite{Kind: isa.BrRet}} // overlaps b0
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0, b1}}}}
+	if err := p.Finalize(); err == nil {
+		t.Error("overlapping blocks: want error")
+	}
+}
+
+func TestValidateCatchesBadTarget(t *testing.T) {
+	base := isa.Addr(0x1000)
+	b0 := &BasicBlock{Addr: base, NInstr: 2, Branch: &BranchSite{Kind: isa.BrUncond, Target: 0xdead00}}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0}}}}
+	if err := p.Finalize(); err == nil {
+		t.Error("dangling branch target: want error")
+	}
+}
+
+func TestValidateCatchesMissingFallthrough(t *testing.T) {
+	base := isa.Addr(0x1000)
+	// Conditional at the end of the program with no fall-through block.
+	b0 := &BasicBlock{Addr: base, NInstr: 2, Branch: &BranchSite{Kind: isa.BrCond, Target: base}}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0}}}}
+	if err := p.Finalize(); err == nil {
+		t.Error("conditional without fall-through: want error")
+	}
+}
+
+func TestValidateCatchesDuplicateBlocks(t *testing.T) {
+	base := isa.Addr(0x1000)
+	b0 := &BasicBlock{Addr: base, NInstr: 2, Branch: &BranchSite{Kind: isa.BrRet}}
+	b1 := &BasicBlock{Addr: base, NInstr: 2, Branch: &BranchSite{Kind: isa.BrRet}}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0, b1}}}}
+	if err := p.Finalize(); err == nil {
+		t.Error("duplicate block addresses: want error")
+	}
+}
+
+func TestIndirectTargetsResolved(t *testing.T) {
+	base := isa.Addr(0x2000)
+	b0 := &BasicBlock{Addr: base, NInstr: 2}
+	b1 := &BasicBlock{Addr: b0.End(), NInstr: 2, Branch: &BranchSite{Kind: isa.BrRet}}
+	b2 := &BasicBlock{Addr: b1.End(), NInstr: 3, Branch: &BranchSite{Kind: isa.BrRet}}
+	b0.Branch = &BranchSite{Kind: isa.BrIndirect, Targets: []isa.Addr{b1.Addr, b2.Addr}}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0, b1, b2}}}}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b0.Branch.TargetBlocks) != 2 || b0.Branch.TargetBlocks[1] != b2 {
+		t.Error("indirect targets not resolved")
+	}
+}
+
+func TestIndirectWithoutTargetsFails(t *testing.T) {
+	base := isa.Addr(0x2000)
+	b0 := &BasicBlock{Addr: base, NInstr: 2, Branch: &BranchSite{Kind: isa.BrIndirect}}
+	p := &Program{Base: base, Funcs: []*Function{{Blocks: []*BasicBlock{b0}}}}
+	if err := p.Finalize(); err == nil {
+		t.Error("indirect branch without targets: want error")
+	}
+}
+
+func TestStaticStats(t *testing.T) {
+	p, bs := tinyProgram(t)
+	s := p.StaticStats()
+	if s.Branches != len(bs) {
+		t.Errorf("Branches = %d, want %d", s.Branches, len(bs))
+	}
+	if s.Blocks < 1 {
+		t.Error("no occupied blocks counted")
+	}
+	wantCond := 1.0 / 4.0
+	if s.CondFrac != wantCond {
+		t.Errorf("CondFrac = %v, want %v", s.CondFrac, wantCond)
+	}
+	if s.PerBlock <= 0 {
+		t.Error("PerBlock must be positive")
+	}
+}
+
+func TestFootprintAndBlockCount(t *testing.T) {
+	p, _ := tinyProgram(t)
+	if p.FootprintBytes() <= 0 || p.FootprintBytes()%isa.BlockBytes != 0 {
+		t.Errorf("footprint %d", p.FootprintBytes())
+	}
+	if p.NumCacheBlocks() != p.FootprintBytes()/isa.BlockBytes {
+		t.Error("NumCacheBlocks inconsistent with footprint")
+	}
+}
+
+func TestFunctionEntry(t *testing.T) {
+	p, bs := tinyProgram(t)
+	if p.Funcs[0].Entry() != bs[0] || p.Funcs[1].Entry() != bs[3] {
+		t.Error("Entry() wrong")
+	}
+}

@@ -1,0 +1,32 @@
+package shift
+
+import (
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+// BenchmarkHistoryRecord measures the generator core's logging path.
+func BenchmarkHistoryRecord(b *testing.B) {
+	h := NewHistory(32 << 10)
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) % 5000)
+	}
+}
+
+// BenchmarkEngineSteadyState measures the per-access replay path with a
+// warm stream.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	h := NewHistory(32 << 10)
+	const streamLen = 8192
+	for i := uint64(0); i < streamLen; i++ {
+		h.Record(i)
+	}
+	e := NewEngine(Config{HistoryEntries: 32 << 10, Lookahead: 20}, h, 20)
+	e.OnAccess(0, 0, true) // prime the stream
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := isa.Addr(uint64(i)%streamLen) << isa.BlockShift
+		e.OnAccess(float64(i), blk, false)
+	}
+}

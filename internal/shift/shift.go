@@ -1,0 +1,230 @@
+// Package shift implements SHIFT (Kaynak, Grot, Falsafi, MICRO'13), the
+// shared-history stream-based instruction prefetcher Confluence builds on.
+//
+// One core — the history generator — logs its L1-I access stream at block
+// granularity (consecutive duplicates collapsed) into a circular history
+// buffer; an index table maps a block address to its most recent position.
+// Both structures are virtualized into the LLC: the history buffer occupies
+// reserved LLC blocks and the index extends the LLC tag array, so the only
+// dedicated silicon is the tag extension (the area model accounts for
+// exactly that).
+//
+// Every core replays the shared history: an L1-I miss looks up the index
+// and, on a hit, streams the blocks that followed the previous occurrence,
+// keeping a lookahead window of in-flight predictions that advances as the
+// core's demand stream confirms them.
+package shift
+
+import (
+	"confluence/internal/isa"
+	"confluence/internal/prefetch"
+)
+
+// Config sizes SHIFT.
+type Config struct {
+	HistoryEntries int // circular history buffer entries (the paper: 32K)
+	Lookahead      int // prediction window depth in blocks
+}
+
+// DefaultConfig returns the paper's tuned configuration.
+func DefaultConfig() Config {
+	return Config{HistoryEntries: 32 << 10, Lookahead: 20}
+}
+
+// HistoryBytes returns the LLC capacity claimed by the virtualized history
+// buffer (the paper: 32K entries ≈ 204KB, ~51 bits per entry).
+func (c Config) HistoryBytes() int { return c.HistoryEntries * 51 / 8 }
+
+// IndexBytes returns the LLC tag-array extension for the index pointers
+// (the paper: ~240KB across the LLC).
+func (c Config) IndexBytes() int { return 240 << 10 }
+
+// recentDepth is the depth of the record-side filter: a block already among
+// the last recentDepth recorded blocks is not re-recorded. Tight loops
+// alternating between a couple of blocks would otherwise flood the circular
+// buffer and shrink its temporal reach to a sliver of the workload (this is
+// the compaction role PIF-style filtering plays in the paper's lineage).
+const recentDepth = 16
+
+// History is the shared instruction-stream history: written by the
+// generator core, read by every core's Engine.
+type History struct {
+	buf    []uint64 // block numbers
+	head   int      // next write position
+	filled bool
+	index  map[uint64]int32
+
+	recent [recentDepth]uint64
+	rhead  int
+	any    bool
+
+	Records, Filtered uint64
+}
+
+// NewHistory creates an empty history buffer.
+func NewHistory(entries int) *History {
+	if entries <= 0 {
+		panic("shift: history entries must be positive")
+	}
+	return &History{
+		buf:   make([]uint64, entries),
+		index: make(map[uint64]int32, entries),
+	}
+}
+
+// Record appends a block access (block number) to the history, skipping
+// blocks recorded in the recent past, and updates the index to the newest
+// occurrence.
+func (h *History) Record(block uint64) {
+	if h.any {
+		for _, r := range h.recent {
+			if r == block {
+				h.Filtered++
+				return
+			}
+		}
+	}
+	h.any = true
+	h.recent[h.rhead] = block
+	h.rhead = (h.rhead + 1) % recentDepth
+	h.buf[h.head] = block
+	h.index[block] = int32(h.head)
+	h.head++
+	if h.head == len(h.buf) {
+		h.head = 0
+		h.filled = true
+	}
+	h.Records++
+}
+
+// Find returns the position of the most recent occurrence of block. Stale
+// index entries (overwritten by the circular buffer) are detected by
+// re-checking the buffer contents.
+func (h *History) Find(block uint64) (int, bool) {
+	p, ok := h.index[block]
+	if !ok {
+		return 0, false
+	}
+	if h.buf[p] != block {
+		delete(h.index, block) // stale pointer
+		return 0, false
+	}
+	return int(p), true
+}
+
+// Next returns the entry after pos, stopping at the write frontier.
+func (h *History) Next(pos int) (block uint64, next int, ok bool) {
+	np := pos + 1
+	if np == len(h.buf) {
+		np = 0
+	}
+	if np == h.head {
+		return 0, pos, false
+	}
+	if !h.filled && np > h.head {
+		return 0, pos, false
+	}
+	return h.buf[np], np, true
+}
+
+// Len returns the number of valid history entries.
+func (h *History) Len() int {
+	if h.filled {
+		return len(h.buf)
+	}
+	return h.head
+}
+
+// Engine is one core's stream-replay engine over a shared History.
+type Engine struct {
+	cfg Config
+	h   *History
+
+	valid  bool
+	pos    int
+	window map[uint64]struct{}
+
+	// restartDelay models the serialized LLC metadata accesses on a stream
+	// restart: index read followed by a history-buffer read.
+	restartDelay float64
+
+	StreamRestarts, IndexMisses uint64
+	Issued, Confirms            uint64
+}
+
+// NewEngine creates a replay engine; metaLatency is the LLC metadata access
+// latency from this core's tile (two dependent reads on restart).
+func NewEngine(cfg Config, h *History, metaLatency float64) *Engine {
+	return &Engine{
+		cfg:          cfg,
+		h:            h,
+		window:       make(map[uint64]struct{}, cfg.Lookahead*2),
+		restartDelay: 2 * metaLatency,
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (e *Engine) Name() string { return "SHIFT" }
+
+// OnAccess implements prefetch.Prefetcher: confirm predicted blocks and top
+// up the window; restart the stream on unpredicted misses.
+func (e *Engine) OnAccess(now float64, block isa.Addr, miss bool) []prefetch.Request {
+	b := uint64(block) >> isa.BlockShift
+	if _, ok := e.window[b]; ok {
+		delete(e.window, b)
+		e.Confirms++
+		return e.advance(0)
+	}
+	if !miss {
+		return nil
+	}
+	// Unpredicted miss: restart the stream at this block's last occurrence.
+	e.StreamRestarts++
+	p, ok := e.h.Find(b)
+	if !ok {
+		e.IndexMisses++
+		e.valid = false
+		return nil
+	}
+	e.valid = true
+	e.pos = p
+	clear(e.window)
+	return e.advance(e.restartDelay)
+}
+
+// OnRegion implements prefetch.Prefetcher (SHIFT is access-driven).
+func (e *Engine) OnRegion(float64, isa.Addr, int) []prefetch.Request { return nil }
+
+// Redirect implements prefetch.Prefetcher. SHIFT's run-ahead is autonomous
+// — it follows its own history stream, not the BPU — so core redirects do
+// not disturb it (the paper's key timeliness argument).
+func (e *Engine) Redirect(float64) {}
+
+// advance issues stream blocks until the window holds Lookahead
+// predictions.
+func (e *Engine) advance(extra float64) []prefetch.Request {
+	if !e.valid {
+		return nil
+	}
+	var out []prefetch.Request
+	for len(e.window) < e.cfg.Lookahead {
+		blk, np, ok := e.h.Next(e.pos)
+		if !ok {
+			break
+		}
+		e.pos = np
+		if _, dup := e.window[blk]; dup {
+			continue
+		}
+		e.window[blk] = struct{}{}
+		out = append(out, prefetch.Request{
+			Block:      isa.Addr(blk) << isa.BlockShift,
+			ExtraDelay: extra + float64(len(out)), // serialized issue
+		})
+		e.Issued++
+	}
+	return out
+}
+
+// WindowSize returns the current prediction window occupancy (tests).
+func (e *Engine) WindowSize() int { return len(e.window) }

@@ -1,0 +1,116 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment runners share: geometric means, coverage math, and aligned
+// text tables in the style of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (which must be positive).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Coverage returns the percentage of baseline events eliminated by a
+// design: 100 * (1 - design/baseline). Negative values mean the design is
+// worse than baseline (AirBTB without an overflow buffer exhibits this in
+// Fig 10).
+func Coverage(baseline, design float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (1 - design/baseline)
+}
+
+// Table renders aligned fixed-width text tables.
+type Table struct {
+	Title string
+	cols  []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, cols: cols}
+}
+
+// Row appends a row; values are formatted with %v, floats with two
+// decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		width[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.cols)
+	total := len(t.cols) - 1
+	for _, w := range width {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

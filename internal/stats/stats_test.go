@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v", got)
+	}
+	if got := Geomean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Geomean(3) = %v", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	if Geomean([]float64{1, -2}) != 0 {
+		t.Error("non-positive input should yield 0")
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x > 1e-9 && x < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage(40, 4); math.Abs(got-90) > 1e-9 {
+		t.Errorf("Coverage(40,4) = %v", got)
+	}
+	if got := Coverage(10, 15); got >= 0 {
+		t.Errorf("worse-than-baseline must be negative, got %v", got)
+	}
+	if Coverage(0, 5) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "Name", "Value")
+	tab.Row("alpha", 1.5)
+	tab.Row("beta-long-name", 22)
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Errorf("float not formatted with two decimals:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: each data line at least as wide as the header.
+	if len(lines[3]) < len("beta-long-name") {
+		t.Error("column width not expanded to fit data")
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.Row("x")
+	if strings.Contains(tab.String(), "==") {
+		t.Error("empty title rendered")
+	}
+}

@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+// TestImagePredecodeMatchesStaticSites is the invariant Confluence's fill
+// path stands on: predecoding the binary image of any block recovers
+// exactly the static branch sites laid out there — same offsets, kinds,
+// and (for direct branches) targets. It cross-checks the whole generator →
+// layout → encoder → predecoder chain.
+func TestImagePredecodeMatchesStaticSites(t *testing.T) {
+	w := buildTest(t)
+	prog := w.Prog
+
+	// Collect static truth per cache block.
+	type site struct {
+		kind   isa.BranchKind
+		target isa.Addr
+		direct bool
+	}
+	want := map[isa.Addr]site{}
+	for _, b := range prog.Blocks() {
+		if b.Branch == nil {
+			continue
+		}
+		want[b.Branch.PC] = site{
+			kind:   b.Branch.Kind,
+			target: b.Branch.Target,
+			direct: b.Branch.Kind.IsDirect(),
+		}
+	}
+
+	img, base := prog.Image()
+	found := 0
+	for off := 0; off < len(img); off += isa.BlockBytes {
+		block := base + isa.Addr(off)
+		for _, pb := range prog.PredecodeBlock(block) {
+			pc := pb.PC(block)
+			s, ok := want[pc]
+			if !ok {
+				t.Fatalf("predecoder found a branch at %#x that the CFG does not have", pc)
+			}
+			if pb.Kind != s.kind {
+				t.Fatalf("branch at %#x: predecoded %v, static %v", pc, pb.Kind, s.kind)
+			}
+			if s.direct && pb.Target != s.target {
+				t.Fatalf("branch at %#x: predecoded target %#x, static %#x", pc, pb.Target, s.target)
+			}
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("predecoder recovered %d of %d static branches", found, len(want))
+	}
+}
+
+// TestExecutedPathStaysInImage walks a long trace and checks every fetched
+// byte range lies inside the program image (no wild fetch regions).
+func TestExecutedPathStaysInImage(t *testing.T) {
+	w := buildTest(t)
+	img, base := w.Prog.Image()
+	end := base + isa.Addr(len(img))
+	for _, b := range w.Prog.Blocks() {
+		if b.Addr < base || b.End() > end {
+			t.Fatalf("block [%#x,%#x) outside image [%#x,%#x)", b.Addr, b.End(), base, end)
+		}
+	}
+}
+
+// TestDispatcherTablesWithinCluster verifies indirect dispatch tables only
+// name callable functions (no dangling dispatch).
+func TestDispatcherTablesWithinCluster(t *testing.T) {
+	w := buildTest(t)
+	for _, f := range w.Prog.Funcs {
+		for _, b := range f.Blocks {
+			br := b.Branch
+			if br == nil || (br.Kind != isa.BrIndCall && br.Kind != isa.BrIndirect) {
+				continue
+			}
+			if len(br.TargetBlocks) < 2 && br.Kind == isa.BrIndCall {
+				t.Errorf("dispatch at %#x has %d targets", br.PC, len(br.TargetBlocks))
+			}
+			for _, tb := range br.TargetBlocks {
+				if tb.Func == nil {
+					t.Fatalf("dispatch target without function at %#x", br.PC)
+				}
+				if br.Kind == isa.BrIndCall && tb != tb.Func.Entry() {
+					t.Errorf("indirect call at %#x targets mid-function %#x", br.PC, tb.Addr)
+				}
+			}
+		}
+	}
+}

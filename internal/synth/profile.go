@@ -1,0 +1,202 @@
+// Package synth generates synthetic server workloads: layered call graphs
+// (deep software stacks), structured per-function control flow (if/else,
+// loops, switches, calls, indirect dispatch), and a request-type-driven
+// execution model.
+//
+// It substitutes for the commercial workload traces used by the paper
+// (TPC-C on DB2/Oracle, TPC-H, Darwin streaming, Apache). The generator is
+// calibrated against the workload properties the paper actually measures:
+// instruction-footprint / BTB-entry working sets (Fig 1), static and
+// dynamic branch density per 64B block (Table 2), multi-hundred-KB
+// instruction footprints that defy a 32KB L1-I, highly predictable branch
+// directions, and recurring request-level control flow — the temporal
+// streams SHIFT exploits.
+package synth
+
+// Profile parameterizes one synthetic workload.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Static structure.
+	Layers          int     // call-graph depth (layer 0 = request entries)
+	Functions       int     // total functions across all layers
+	LeafFrac        float64 // fraction of functions in the shared leaf layer
+	MeanBlocksPerFn int     // mean basic-block budget per function
+	MeanBlockLen    float64 // mean non-branch instructions per basic block
+
+	// Construct mix (relative weights while generating a function body).
+	WPlain, WIf, WIfElse, WLoop, WCall, WSwitch float64
+
+	// Branch behaviour. Non-loop conditionals are strongly biased (server
+	// branch directions are highly predictable); loops get per-site
+	// quasi-deterministic trip counts drawn log-uniformly from
+	// [LoopTripMin, LoopTripMax].
+	ErrorCheckFrac  float64 // if-sites that are rarely-taken error checks
+	MixedBiasFrac   float64 // if/else sites with data-dependent 30-70% bias
+	LoopTripMin     int
+	LoopTripMax     int
+	CallsToLeafFrac float64 // call sites that target the shared leaf layer
+	// Loop bodies normally call only hot leaf primitives (bounding dynamic
+	// request size); DSS-style per-tuple operator stacks relax that.
+	LoopCallLeafOnly  bool
+	LoopCallScale     float64 // call-weight multiplier inside loop bodies
+	IndirectCallFrac  float64 // call sites using indirect dispatch
+	IndirectFanout    int     // dispatch-table width
+	IndirectStability float64 // P(indirect site resolves to its per-request target)
+
+	// Request structure.
+	RequestTypes  int
+	SharedMidFrac float64 // mid-layer functions shared across request types
+	ZipfTheta     float64 // request-mix skew (low = flat mix, large active set)
+	// Concurrency is how many in-flight requests (connections) the core
+	// time-slices; QuantumInstr the mean scheduling quantum. Interleaving
+	// concurrent requests' code paths is what makes server instruction
+	// working sets defy the L1-I.
+	Concurrency  int
+	QuantumInstr int
+
+	// Timing calibration consumed by the frontend model. BackendCPI is the
+	// constant data-side CPI adder (OoO backend, constant across frontend
+	// configs); Exposure scales raw L1-I miss latency to the fraction the
+	// core actually stalls (ROB/MSHR hiding).
+	BackendCPI float64
+	Exposure   float64
+}
+
+// Profiles returns the five server workload profiles evaluated in the
+// paper, calibrated (see DESIGN.md §2) so that:
+//
+//   - BTB MPKI curves flatten around 16K entries (32K for OLTP-Oracle), Fig 1;
+//   - static branches per 64B block ≈ Table 2 (DB2 3.6, Oracle 2.5, DSS 3.4,
+//     Media 3.5, Web 4.3);
+//   - instruction footprints span several hundred KB to ~1MB, far beyond a
+//     32KB L1-I.
+func Profiles() []Profile {
+	return []Profile{
+		OLTPDB2(), OLTPOracle(), DSS(), MediaStreaming(), WebFrontend(),
+	}
+}
+
+// ProfileByName returns the named profile (as listed by Profiles) and
+// whether it exists.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+func base() Profile {
+	return Profile{
+		Layers:            6,
+		LeafFrac:          0.2,
+		WPlain:            0.14,
+		WIf:               0.16,
+		WIfElse:           0.1,
+		WLoop:             0.05,
+		WCall:             0.48,
+		WSwitch:           0.03,
+		ErrorCheckFrac:    0.5,
+		MixedBiasFrac:     0.08,
+		LoopTripMin:       4,
+		LoopTripMax:       20,
+		CallsToLeafFrac:   0.15,
+		LoopCallLeafOnly:  true,
+		LoopCallScale:     0.2,
+		IndirectCallFrac:  0.06,
+		IndirectFanout:    6,
+		IndirectStability: 0.94,
+		SharedMidFrac:     0.2,
+		ZipfTheta:         0.4,
+		Concurrency:       16,
+		QuantumInstr:      4500,
+		BackendCPI:        0.62,
+		Exposure:          0.95,
+	}
+}
+
+// OLTPDB2 models TPC-C on IBM DB2: large footprint, dense branches.
+func OLTPDB2() Profile {
+	p := base()
+	p.Name = "OLTP-DB2"
+	p.Seed = 0x1db2
+	p.Functions = 3600
+	p.MeanBlocksPerFn = 11
+	p.MeanBlockLen = 3.0
+	p.RequestTypes = 20
+	return p
+}
+
+// OLTPOracle models TPC-C on Oracle: the largest instruction working set in
+// the suite (the one workload that benefits from >16K BTB entries), with
+// longer basic blocks (lower branch density, Table 2: 2.5/block).
+func OLTPOracle() Profile {
+	p := base()
+	p.Name = "OLTP-Oracle"
+	p.Seed = 0x9acf
+	p.Functions = 7000
+	p.MeanBlocksPerFn = 11
+	p.MeanBlockLen = 5.0
+	p.RequestTypes = 26
+	p.BackendCPI = 0.72
+	return p
+}
+
+// DSS models TPC-H decision-support queries: smaller code footprint, heavy
+// scan loops (long trip counts), few request types (the queries).
+func DSS() Profile {
+	p := base()
+	p.Name = "DSS-Qrys"
+	p.Seed = 0xd55
+	p.Functions = 3000
+	p.MeanBlocksPerFn = 10
+	p.MeanBlockLen = 3.3
+	p.RequestTypes = 6
+	p.WLoop = 0.1
+	p.WCall = 0.42
+	p.LoopTripMin = 4
+	p.LoopTripMax = 48
+	p.Concurrency = 8
+	p.QuantumInstr = 2500
+	p.LoopCallLeafOnly = false // per-tuple operator stacks
+	p.LoopCallScale = 1.0
+	p.BackendCPI = 0.55
+	return p
+}
+
+// MediaStreaming models the Darwin streaming server: moderate footprint,
+// packet-pump loops.
+func MediaStreaming() Profile {
+	p := base()
+	p.Name = "Media-Streaming"
+	p.Seed = 0x3d1a
+	p.Functions = 3400
+	p.MeanBlocksPerFn = 10
+	p.MeanBlockLen = 3.2
+	p.RequestTypes = 14
+	p.WLoop = 0.09
+	p.WCall = 0.44
+	p.LoopTripMax = 40
+	p.Concurrency = 16
+	p.QuantumInstr = 2500
+	p.LoopCallLeafOnly = false // per-packet codec/IO stacks
+	p.LoopCallScale = 0.8
+	return p
+}
+
+// WebFrontend models Apache + fastCGI: the densest branch population in the
+// suite (Table 2: 4.3/block) with many small handler functions.
+func WebFrontend() Profile {
+	p := base()
+	p.Name = "Web-Frontend"
+	p.Seed = 0x3eb
+	p.Functions = 3200
+	p.MeanBlocksPerFn = 11
+	p.MeanBlockLen = 2.3
+	p.RequestTypes = 16
+	p.ErrorCheckFrac = 0.55
+	return p
+}

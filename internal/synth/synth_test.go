@@ -1,0 +1,320 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"confluence/internal/isa"
+	"confluence/internal/program"
+)
+
+// testProfile is a small, fast-to-build workload for tests.
+func testProfile() Profile {
+	p := base()
+	p.Name = "test"
+	p.Seed = 42
+	p.Functions = 320
+	p.MeanBlocksPerFn = 9
+	p.MeanBlockLen = 3.0
+	p.RequestTypes = 4
+	p.Concurrency = 4
+	p.QuantumInstr = 800
+	return p
+}
+
+func buildTest(t *testing.T) *Workload {
+	t.Helper()
+	w, err := Build(testProfile())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return w
+}
+
+func TestBuildAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size workload builds in -short mode")
+	}
+	for _, prof := range Profiles() {
+		w, err := Build(prof)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if w.Prog.FootprintBytes() < 200<<10 {
+			t.Errorf("%s: footprint %d KB is too small to stress a 32KB L1-I",
+				prof.Name, w.Prog.FootprintBytes()>>10)
+		}
+		if got := w.NumRequestTypes(); got != prof.RequestTypes {
+			t.Errorf("%s: %d request types, want %d", prof.Name, got, prof.RequestTypes)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("ProfileByName(%q) failed", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, _ := a.Prog.Image()
+	bi, _ := b.Prog.Image()
+	if !bytes.Equal(ai, bi) {
+		t.Error("same seed produced different programs")
+	}
+}
+
+func TestBuildSeedChangesProgram(t *testing.T) {
+	p1 := testProfile()
+	p2 := testProfile()
+	p2.Seed = 43
+	a, _ := Build(p1)
+	b, _ := Build(p2)
+	ai, _ := a.Prog.Image()
+	bi, _ := b.Prog.Image()
+	if bytes.Equal(ai, bi) {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestBranchDensityNearTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size workload builds in -short mode")
+	}
+	targets := map[string]float64{
+		"OLTP-DB2": 3.6, "OLTP-Oracle": 2.5, "DSS-Qrys": 3.4,
+		"Media-Streaming": 3.5, "Web-Frontend": 4.3,
+	}
+	for _, prof := range Profiles() {
+		w, err := Build(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := w.Prog.StaticStats().PerBlock
+		want := targets[prof.Name]
+		if math.Abs(got-want) > 0.45 {
+			t.Errorf("%s: static branches/block = %.2f, want ≈ %.1f (Table 2)",
+				prof.Name, got, want)
+		}
+	}
+}
+
+func TestLayeringIsAcyclic(t *testing.T) {
+	w := buildTest(t)
+	// Direct calls and dispatch targets must always go to a strictly deeper
+	// layer — this is what bounds the call stack and forbids recursion.
+	for _, f := range w.Prog.Funcs {
+		for _, b := range f.Blocks {
+			br := b.Branch
+			if br == nil {
+				continue
+			}
+			check := func(tb *program.BasicBlock) {
+				if tb.Func.Layer <= f.Layer && br.Kind.IsCall() {
+					t.Fatalf("call from layer %d (%s) to layer %d (%s)",
+						f.Layer, f.Name, tb.Func.Layer, tb.Func.Name)
+				}
+			}
+			if br.Kind.IsCall() {
+				if br.TargetBlock != nil {
+					check(br.TargetBlock)
+				}
+				for _, tb := range br.TargetBlocks {
+					check(tb)
+				}
+			}
+		}
+	}
+}
+
+func TestLeafFunctionsDoNotCall(t *testing.T) {
+	w := buildTest(t)
+	last := w.Prof.Layers - 1
+	for _, f := range w.Prog.Funcs {
+		if f.Layer != last {
+			continue
+		}
+		for _, b := range f.Blocks {
+			if b.Branch != nil && b.Branch.Kind.IsCall() {
+				t.Fatalf("leaf function %s contains a call", f.Name)
+			}
+		}
+	}
+}
+
+func TestBlockLengthBounded(t *testing.T) {
+	w := buildTest(t)
+	for _, b := range w.Prog.Blocks() {
+		if b.NInstr < 1 || b.NInstr > maxBlockLen+1 {
+			t.Fatalf("block at %#x has %d instructions", b.Addr, b.NInstr)
+		}
+	}
+}
+
+func TestEveryFunctionEndsInReturn(t *testing.T) {
+	w := buildTest(t)
+	for _, f := range w.Prog.Funcs {
+		lastBlock := f.Blocks[len(f.Blocks)-1]
+		if lastBlock.Branch == nil || lastBlock.Branch.Kind != isa.BrRet {
+			t.Fatalf("function %s does not end in ret", f.Name)
+		}
+	}
+}
+
+func TestLoopSitesHaveTripMeans(t *testing.T) {
+	w := buildTest(t)
+	prof := w.Prof
+	loops := 0
+	for _, b := range w.Prog.Blocks() {
+		br := b.Branch
+		if br == nil || br.Loop == program.NotLoop {
+			continue
+		}
+		loops++
+		if br.Kind != isa.BrCond {
+			t.Fatalf("loop site at %#x is %v, want cond", br.PC, br.Kind)
+		}
+		if br.TripMean < prof.LoopTripMin-1 || br.TripMean > prof.LoopTripMax+1 {
+			t.Fatalf("loop at %#x: trip mean %d outside [%d,%d]",
+				br.PC, br.TripMean, prof.LoopTripMin, prof.LoopTripMax)
+		}
+	}
+	if loops == 0 {
+		t.Fatal("no loops generated")
+	}
+}
+
+func TestMostFunctionsReachable(t *testing.T) {
+	w := buildTest(t)
+	// Walk the static call graph from all entries; the cursor-based callee
+	// selection exists precisely so generated code is not dead.
+	seen := map[*program.Function]bool{}
+	var walk func(f *program.Function)
+	walk = func(f *program.Function) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, b := range f.Blocks {
+			br := b.Branch
+			if br == nil || !br.Kind.IsCall() {
+				continue
+			}
+			if br.TargetBlock != nil {
+				walk(br.TargetBlock.Func)
+			}
+			for _, tb := range br.TargetBlocks {
+				walk(tb.Func)
+			}
+		}
+	}
+	for _, e := range w.Entries {
+		walk(e)
+	}
+	frac := float64(len(seen)) / float64(len(w.Prog.Funcs))
+	if frac < 0.7 {
+		t.Errorf("only %.0f%% of functions reachable from request entries", 100*frac)
+	}
+}
+
+func TestRequestMixIsNormalized(t *testing.T) {
+	w := buildTest(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	counts := make([]int, w.NumRequestTypes())
+	for i := 0; i < 20000; i++ {
+		counts[w.PickRequest(rng)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("request type %d never picked", i)
+		}
+	}
+	// Zipf: type 0 must be the most common.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[0]*2 {
+			t.Errorf("mix not Zipf-shaped: counts=%v", counts)
+		}
+	}
+}
+
+func TestBuildRejectsBadConfigs(t *testing.T) {
+	p := testProfile()
+	p.Layers = 2
+	if _, err := Build(p); err == nil {
+		t.Error("too few layers: want error")
+	}
+	p = testProfile()
+	p.Functions = 3
+	if _, err := Build(p); err == nil {
+		t.Error("too few functions: want error")
+	}
+}
+
+func TestZipfCum(t *testing.T) {
+	cum := zipfCum(5, 1.0)
+	if len(cum) != 5 {
+		t.Fatal("wrong length")
+	}
+	if math.Abs(cum[4]-1.0) > 1e-9 {
+		t.Errorf("cumulative distribution must end at 1, got %v", cum[4])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] <= cum[i-1] {
+			t.Error("cumulative distribution must be increasing")
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	const mean = 6.0
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(geometric(rng, mean))
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.3 {
+		t.Errorf("geometric mean = %.2f, want ≈ %.1f", got, mean)
+	}
+}
+
+func TestAirBundleFitsMostBlocks(t *testing.T) {
+	// The paper sizes 3-entry bundles because ~50% of blocks hold ≤3
+	// branches; our generator must reproduce that rough property or the
+	// Figure 10 sensitivity loses its meaning.
+	w := buildTest(t)
+	img, base := w.Prog.Image()
+	within := 0
+	total := 0
+	for off := 0; off < len(img); off += isa.BlockBytes {
+		n := len(w.Prog.PredecodeBlock(base + isa.Addr(off)))
+		if n == 0 {
+			continue
+		}
+		total++
+		if n <= 3 {
+			within++
+		}
+	}
+	frac := float64(within) / float64(total)
+	if frac < 0.3 || frac > 0.95 {
+		t.Errorf("%.0f%% of blocks hold ≤3 branches; want a middling fraction", 100*frac)
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"testing"
+
+	"confluence/internal/synth"
+)
+
+func benchWorkload(b *testing.B) *synth.Workload {
+	b.Helper()
+	p := synth.OLTPDB2()
+	p.Functions = 1100
+	p.RequestTypes = 8
+	p.Concurrency = 8
+	p.Seed = 21
+	w, err := synth.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkExecutorNext measures raw control-flow walk throughput.
+func BenchmarkExecutorNext(b *testing.B) {
+	w := benchWorkload(b)
+	e := NewExecutor(w, 1)
+	var rec Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Next(&rec)
+	}
+	b.ReportMetric(float64(e.Instructions)/float64(b.N), "instr/record")
+}
+
+// BenchmarkBuild measures workload generation cost.
+func BenchmarkBuild(b *testing.B) {
+	p := synth.OLTPDB2()
+	p.Functions = 1100
+	p.RequestTypes = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Build(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"confluence/internal/isa"
+)
+
+// Binary trace file format: a fixed header followed by fixed-width records.
+// The format exists for offline inspection and interchange (cmd/tracegen);
+// the simulator itself streams records straight from Executors.
+
+var fileMagic = [8]byte{'C', 'F', 'L', 'T', 'R', 'C', '0', '1'}
+
+const recordBytes = 8 + 2 + 1 + 1 + 8 + 8 + 2 // Start,N,Kind,Taken,Target,Next,ReqType
+
+// Writer serializes records to a stream.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	buf [recordBytes]byte
+}
+
+// NewWriter writes the header and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *Writer) Write(rec *Record) error {
+	b := t.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], uint64(rec.Start))
+	binary.LittleEndian.PutUint16(b[8:], uint16(rec.N))
+	b[10] = byte(rec.Br.Kind)
+	b[11] = 0
+	if rec.Br.Taken {
+		b[11] = 1
+	}
+	if rec.ReqBoundary {
+		b[11] |= 2
+	}
+	binary.LittleEndian.PutUint64(b[12:], uint64(rec.Br.Target))
+	binary.LittleEndian.PutUint64(b[20:], uint64(rec.Next))
+	binary.LittleEndian.PutUint16(b[28:], uint16(rec.ReqType))
+	if _, err := t.w.Write(b); err != nil {
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Flush flushes buffered records; call once when done.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Reader deserializes records written by Writer.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordBytes]byte
+}
+
+// NewReader validates the header and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, errors.New("trace: bad magic: not a trace file")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read fills rec with the next record; it returns io.EOF at end of stream.
+func (t *Reader) Read(rec *Record) error {
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return err
+	}
+	b := t.buf[:]
+	rec.Start = isa.Addr(binary.LittleEndian.Uint64(b[0:]))
+	rec.N = int(binary.LittleEndian.Uint16(b[8:]))
+	rec.Br.Kind = isa.BranchKind(b[10])
+	rec.Br.Taken = b[11]&1 != 0
+	rec.ReqBoundary = b[11]&2 != 0
+	rec.Br.Target = isa.Addr(binary.LittleEndian.Uint64(b[12:]))
+	rec.Next = isa.Addr(binary.LittleEndian.Uint64(b[20:]))
+	rec.ReqType = int(binary.LittleEndian.Uint16(b[28:]))
+	if rec.Br.Kind.IsBranch() {
+		rec.Br.PC = rec.Start + isa.Addr((rec.N-1)*isa.InstrBytes)
+	} else {
+		rec.Br.PC = 0
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+func randomRecord(rng *rand.Rand) Record {
+	kinds := []isa.BranchKind{isa.BrNone, isa.BrCond, isa.BrUncond, isa.BrCall, isa.BrRet, isa.BrIndirect, isa.BrIndCall}
+	n := 1 + rng.IntN(15)
+	rec := Record{
+		Start:       isa.Addr(rng.Uint64()&0xFFFF_FFFF) &^ 3,
+		N:           n,
+		Next:        isa.Addr(rng.Uint64()&0xFFFF_FFFF) &^ 3,
+		ReqType:     rng.IntN(16),
+		ReqBoundary: rng.IntN(4) == 0,
+	}
+	k := kinds[rng.IntN(len(kinds))]
+	if k.IsBranch() {
+		rec.Br = BranchInfo{
+			PC:     rec.Start + isa.Addr((n-1)*isa.InstrBytes),
+			Kind:   k,
+			Taken:  k.IsUnconditional() || rng.IntN(2) == 0,
+			Target: isa.Addr(rng.Uint64()&0xFFFF_FFFF) &^ 3,
+		}
+	}
+	return rec
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var want []Record
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		rec := randomRecord(rng)
+		want = append(want, rec)
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5000 {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	for i, wantRec := range want {
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		// PC is reconstructed only for branch records.
+		cmp := wantRec
+		if !cmp.Br.Kind.IsBranch() {
+			cmp.Br.PC = 0
+			cmp.Br.Taken = got.Br.Taken // taken bit meaningless without branch
+			cmp.Br.Target = got.Br.Target
+		}
+		if got != cmp {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, cmp)
+		}
+	}
+	if err := r.Read(&got); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXXXXXXgarbage"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReaderRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	rec := Record{Start: 0x1000, N: 4}
+	_ = w.Write(&rec)
+	_ = w.Flush()
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	if err := r.Read(&got); err == nil {
+		t.Error("truncated record read without error")
+	}
+}
+
+func TestWriterRoundTripFromExecutor(t *testing.T) {
+	w := testWorkload(t)
+	e := NewExecutor(w, 99)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	var rec Record
+	for i := 0; i < 2000; i++ {
+		e.Next(&rec)
+		recs = append(recs, rec)
+		if err := tw.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Record
+	for i := range recs {
+		if err := tr.Read(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Start != recs[i].Start || got.N != recs[i].N || got.Br.Kind != recs[i].Br.Kind {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}

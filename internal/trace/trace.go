@@ -1,0 +1,279 @@
+// Package trace turns a synthetic workload into a dynamic control-flow
+// stream: a sequence of executed basic blocks with resolved branch outcomes.
+// The stream is what every instruction-supply mechanism consumes — it is the
+// correct-path retire stream of one core.
+//
+// Executors are deterministic in their seed, cheap enough to re-run instead
+// of storing traces, and may also be serialized to binary trace files for
+// offline inspection (cmd/tracegen).
+package trace
+
+import (
+	"math/rand/v2"
+
+	"confluence/internal/isa"
+	"confluence/internal/program"
+	"confluence/internal/synth"
+)
+
+// BranchInfo describes the resolved control transfer ending a basic block.
+type BranchInfo struct {
+	PC     isa.Addr       // branch instruction address
+	Kind   isa.BranchKind // BrNone for fall-through blocks
+	Taken  bool
+	Target isa.Addr // actual target when taken; static target otherwise
+}
+
+// Record is one executed basic block.
+type Record struct {
+	Start isa.Addr
+	N     int // instruction count, including the branch if any
+	Br    BranchInfo
+	Next  isa.Addr // start of the next executed block
+	// ReqType is the request type being served; ReqBoundary marks the first
+	// block of a new request (a natural temporal-stream boundary).
+	ReqType     int
+	ReqBoundary bool
+}
+
+// context is one in-flight request's execution state. A server core
+// time-slices many concurrent requests (connections); interleaving their
+// code paths is what defies the L1-I — a single request's working set would
+// often fit.
+type context struct {
+	stack []*program.BasicBlock // return points
+	cur   *program.BasicBlock
+	req   int
+	// loopRem tracks active loops' remaining iterations, keyed by the
+	// controlling branch site. The layered call graph forbids recursion, so
+	// a site is active at most once per context.
+	loopRem map[isa.Addr]int
+}
+
+// Executor walks a workload's control-flow graph serving an endless stream
+// of concurrent requests, producing Records. It models one core's retire
+// stream.
+type Executor struct {
+	w   *synth.Workload
+	rng *rand.Rand
+
+	ctxs    []*context
+	active  int
+	quantum int // instructions left in the current scheduling quantum
+	newRq   bool
+
+	// Counters.
+	Instructions uint64
+	Requests     uint64
+	Switches     uint64
+}
+
+// NewExecutor creates an executor; seed differentiates cores.
+func NewExecutor(w *synth.Workload, seed uint64) *Executor {
+	e := &Executor{
+		w:   w,
+		rng: rand.New(rand.NewPCG(seed, 0xfeed^w.Prof.Seed)),
+	}
+	n := w.Prof.Concurrency
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		c := &context{loopRem: make(map[isa.Addr]int)}
+		e.ctxs = append(e.ctxs, c)
+		e.startRequest(c)
+	}
+	e.newRq = true
+	e.quantum = e.drawQuantum()
+	return e
+}
+
+func (e *Executor) startRequest(c *context) {
+	c.req = e.w.PickRequest(e.rng)
+	c.cur = e.w.Entries[c.req].Entry()
+	c.stack = c.stack[:0]
+	e.Requests++
+}
+
+func (e *Executor) drawQuantum() int {
+	q := e.w.Prof.QuantumInstr
+	if q <= 0 {
+		q = 500
+	}
+	// ±50% jitter: I/O waits and lock hand-offs are irregular.
+	return q/2 + e.rng.IntN(q)
+}
+
+// yield switches to the next runnable context (round-robin).
+func (e *Executor) yield() {
+	if len(e.ctxs) <= 1 {
+		e.quantum = e.drawQuantum()
+		return
+	}
+	e.active = (e.active + 1) % len(e.ctxs)
+	e.quantum = e.drawQuantum()
+	e.Switches++
+}
+
+// Next fills rec with the next executed basic block and advances the walk.
+func (e *Executor) Next(rec *Record) {
+	c := e.ctxs[e.active]
+	cur := c.cur
+	rec.Start = cur.Addr
+	rec.N = cur.NInstr
+	rec.ReqType = c.req
+	rec.ReqBoundary = e.newRq
+	e.newRq = false
+	e.Instructions += uint64(cur.NInstr)
+	e.quantum -= cur.NInstr
+
+	br := cur.Branch
+	if br == nil {
+		rec.Br = BranchInfo{Kind: isa.BrNone}
+		c.cur = cur.Fall
+		rec.Next = c.cur.Addr
+		return
+	}
+	info := BranchInfo{PC: br.PC, Kind: br.Kind, Target: br.Target}
+	var next *program.BasicBlock
+	switch br.Kind {
+	case isa.BrCond:
+		info.Taken = e.condOutcome(c, br)
+		if info.Taken {
+			next = br.TargetBlock
+		} else {
+			next = cur.Fall
+		}
+	case isa.BrUncond:
+		info.Taken = true
+		next = br.TargetBlock
+	case isa.BrCall:
+		info.Taken = true
+		c.stack = append(c.stack, cur.Fall)
+		next = br.TargetBlock
+	case isa.BrRet:
+		info.Taken = true
+		if n := len(c.stack); n > 0 {
+			next = c.stack[n-1]
+			c.stack = c.stack[:n-1]
+			info.Target = next.Addr
+		} else {
+			// Top of the (implicit) server dispatch loop: the request is
+			// complete; this connection picks up its next request, and the
+			// scheduler switches to another connection.
+			e.startRequest(c)
+			e.yield()
+			c = e.ctxs[e.active]
+			next = c.cur
+			info.Target = next.Addr
+			e.newRq = true
+		}
+	case isa.BrIndirect, isa.BrIndCall:
+		info.Taken = true
+		next = e.pickIndirect(c, br)
+		info.Target = next.Addr
+		if br.Kind == isa.BrIndCall {
+			c.stack = append(c.stack, cur.Fall)
+		}
+	}
+	rec.Br = info
+	c.cur = next
+	rec.Next = next.Addr
+
+	// Quantum expiry: switch connections at the next request-safe point
+	// (only between basic blocks, and never mid-record).
+	if e.quantum <= 0 && br.Kind != isa.BrRet {
+		e.yield()
+		nc := e.ctxs[e.active]
+		if nc != c {
+			rec.Next = nc.cur.Addr
+			// The architectural redirect to another context's PC looks like
+			// an OS scheduling event; mark it as a request boundary for the
+			// stream consumers.
+			e.newRq = true
+		}
+	}
+}
+
+// condOutcome resolves a conditional branch. Loop-controlling sites run a
+// quasi-deterministic iteration counter (the site's characteristic trip
+// count with occasional jitter); other conditionals are biased coin flips.
+func (e *Executor) condOutcome(c *context, br *program.BranchSite) bool {
+	switch br.Loop {
+	case program.LoopExitHeader:
+		// Header visited before each iteration and once more to exit;
+		// taken means exit.
+		rem, active := c.loopRem[br.PC]
+		if !active {
+			rem = e.drawTrips(br)
+		}
+		if rem == 0 {
+			delete(c.loopRem, br.PC)
+			return true
+		}
+		c.loopRem[br.PC] = rem - 1
+		return false
+	case program.LoopBackEdge:
+		// Back edge visited after each body pass; taken means continue.
+		rem, active := c.loopRem[br.PC]
+		if !active {
+			rem = e.drawTrips(br) - 1 // one pass already done
+		}
+		if rem <= 0 {
+			delete(c.loopRem, br.PC)
+			return false
+		}
+		c.loopRem[br.PC] = rem - 1
+		return true
+	default:
+		return e.rng.Float64() < br.TakenBias
+	}
+}
+
+// drawTrips samples this execution's trip count: usually exactly the
+// site's characteristic count (loop bounds recur across requests, which is
+// what makes both the direction predictor and SHIFT's temporal streams
+// effective), with occasional ±1 data-dependent jitter.
+func (e *Executor) drawTrips(br *program.BranchSite) int {
+	t := br.TripMean
+	if e.rng.Float64() < 0.05 {
+		t += e.rng.IntN(3) - 1
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// pickIndirect resolves an indirect site: with probability
+// IndirectStability the per-(site,request-type) stable target, otherwise a
+// uniformly random table entry (data-dependent dispatch).
+func (e *Executor) pickIndirect(c *context, br *program.BranchSite) *program.BasicBlock {
+	tb := br.TargetBlocks
+	if len(tb) == 1 {
+		return tb[0]
+	}
+	if e.rng.Float64() < e.w.IndirectStability() {
+		return tb[stableIndex(uint64(br.PC), uint64(c.req), len(tb))]
+	}
+	return tb[e.rng.IntN(len(tb))]
+}
+
+// stableIndex deterministically maps (site, request type) to a table slot.
+func stableIndex(pc, req uint64, n int) int {
+	x := pc*0x9e3779b97f4a7c15 ^ req*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return int(x % uint64(n))
+}
+
+// Skip advances the executor by at least n instructions (fast-forward for
+// de-correlating cores at startup).
+func (e *Executor) Skip(n uint64) {
+	var rec Record
+	target := e.Instructions + n
+	for e.Instructions < target {
+		e.Next(&rec)
+	}
+}
