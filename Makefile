@@ -1,0 +1,32 @@
+# Local targets mirror .github/workflows/ci.yml one-for-one, so "it passes
+# locally" and "it passes in CI" are the same command. REPRO_SCALE bounds
+# simulation effort (small|default|paper); REPRO_WORKERS bounds the grid
+# scheduler's fan-out.
+
+REPRO_SCALE ?= small
+export REPRO_SCALE
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+ci: fmt vet build test race bench

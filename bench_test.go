@@ -15,7 +15,10 @@ package confluence
 // test. Pass -v to see the regenerated tables.
 
 import (
+	"context"
+	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -65,7 +68,7 @@ func benchRunner(b *testing.B) *experiments.Runner {
 func BenchmarkFigure1_BTBCapacitySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		rows, err := r.Figure1()
+		rows, err := r.Figure1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +90,7 @@ func BenchmarkFigure1_BTBCapacitySweep(b *testing.B) {
 func BenchmarkTable2_BranchDensity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		rows, err := r.Table2()
+		rows, err := r.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +112,7 @@ func BenchmarkTable2_BranchDensity(b *testing.B) {
 func BenchmarkFigure2_ConventionalFrontends(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		points, err := r.Figure2()
+		points, err := r.Figure2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +132,7 @@ func BenchmarkFigure2_ConventionalFrontends(b *testing.B) {
 func BenchmarkFigure6_Confluence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		points, err := r.Figure6()
+		points, err := r.Figure6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +156,7 @@ func BenchmarkFigure6_Confluence(b *testing.B) {
 func BenchmarkFigure7_BTBDesignsWithSHIFT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		rows, err := r.Figure7()
+		rows, err := r.Figure7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +178,7 @@ func BenchmarkFigure7_BTBDesignsWithSHIFT(b *testing.B) {
 func BenchmarkFigure8_AirBTBBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		rows, err := r.Figure8()
+		rows, err := r.Figure8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +198,7 @@ func BenchmarkFigure8_AirBTBBreakdown(b *testing.B) {
 func BenchmarkFigure9_MissCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		rows, err := r.Figure9()
+		rows, err := r.Figure9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +222,7 @@ func BenchmarkFigure9_MissCoverage(b *testing.B) {
 func BenchmarkFigure10_AirBTBSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner(b)
-		rows, err := r.Figure10()
+		rows, err := r.Figure10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,6 +234,29 @@ func BenchmarkFigure10_AirBTBSensitivity(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + experiments.Figure10Table(rows).String())
 		}
+	}
+}
+
+// BenchmarkGridScheduler_WorkerScaling regenerates Figure 6 from a cold
+// cache at different worker counts — the wall-clock win of the grid
+// scheduler. The speedup over workers=1 approaches the core count on
+// multi-core machines (cells are embarrassingly parallel); results are
+// bit-identical at every width (see TestParallelDeterminism).
+func BenchmarkGridScheduler_WorkerScaling(b *testing.B) {
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := benchRunner(b)
+				r.Workers = workers
+				if _, err := r.Figure6(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

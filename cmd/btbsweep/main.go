@@ -1,9 +1,10 @@
 // Command btbsweep is a standalone Figure 1 tool: it sweeps conventional
-// BTB capacity and prints BTB MPKI per workload.
+// BTB capacity and prints BTB MPKI per workload. Sweep points fan out
+// across the worker pool.
 //
 // Usage:
 //
-//	btbsweep [-scale small|default|paper] [-workload NAME]
+//	btbsweep [-scale small|default|paper] [-workers N] [-workload NAME]
 package main
 
 import (
@@ -11,12 +12,14 @@ import (
 	"fmt"
 	"os"
 
+	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
 	"confluence/internal/synth"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	workload := flag.String("workload", "", "restrict to one workload profile")
 	flag.Parse()
 
@@ -28,6 +31,9 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	ctx, stop := cliutil.InterruptContext()
+	defer stop()
 
 	var r *experiments.Runner
 	var err error
@@ -43,12 +49,13 @@ func main() {
 			os.Exit(1)
 		}
 		r = experiments.NewRunnerFor(sc, []*synth.Workload{w})
-	} else if r, err = experiments.NewRunner(sc); err != nil {
+	} else if r, err = experiments.NewRunner(sc, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "btbsweep:", err)
 		os.Exit(1)
 	}
+	r.Workers = *workers
 
-	rows, err := r.Figure1()
+	rows, err := r.Figure1(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "btbsweep:", err)
 		os.Exit(1)

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	confluence-sim [-scale small|default|paper] [-run fig1,table2,fig6,...] [-v]
+//	confluence-sim [-scale small|default|paper] [-workers N] [-run fig1,table2,fig6,...] [-v]
 //
 // The default runs everything at the "default" scale (8 cores, 3M
-// instructions per core). REPRO_SCALE overrides the default scale.
+// instructions per core), fanning independent simulation cells out across
+// all CPUs. REPRO_SCALE overrides the default scale; REPRO_WORKERS (or
+// -workers) bounds the worker pool. Results are bit-identical for any
+// worker count. Ctrl-C cancels cleanly between cells.
 package main
 
 import (
@@ -16,12 +19,14 @@ import (
 	"strings"
 	"time"
 
+	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
 	runFlag := flag.String("run", "all", "comma-separated experiments: fig1,table2,fig2,fig6,fig7,fig8,fig9,fig10,ablations,all")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	flag.Parse()
 
@@ -34,6 +39,9 @@ func main() {
 		}
 	}
 
+	ctx, stop := cliutil.InterruptContext()
+	defer stop()
+
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {
 		want[strings.TrimSpace(strings.ToLower(name))] = true
@@ -45,7 +53,7 @@ func main() {
 	fmt.Printf("confluence-sim: scale=%s cores=%d warmup=%d measure=%d (per core)\n\n",
 		sc.Name, sc.Cores, sc.Warmup, sc.Measure)
 
-	r, err := experiments.NewRunner(sc)
+	r, err := experiments.NewRunner(sc, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -54,68 +62,68 @@ func main() {
 	}
 
 	if pick("table2") {
-		rows, err := r.Table2()
+		rows, err := r.Table2(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.Table2Table(rows))
 	}
 	if pick("fig1") {
-		rows, err := r.Figure1()
+		rows, err := r.Figure1(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.Figure1Table(rows))
 	}
 	if pick("fig2") {
-		points, err := r.Figure2()
+		points, err := r.Figure2(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.PerfAreaTable("Figure 2: conventional instruction-supply mechanisms", points))
 	}
 	if pick("fig6") {
-		points, err := r.Figure6()
+		points, err := r.Figure6(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.PerfAreaTable("Figure 6: Confluence vs conventional mechanisms", points))
 	}
 	if pick("fig7") {
-		rows, err := r.Figure7()
+		rows, err := r.Figure7(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.Figure7Table(rows))
 	}
 	if pick("fig8") {
-		rows, err := r.Figure8()
+		rows, err := r.Figure8(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.Figure8Table(rows))
 	}
 	if pick("fig9") {
-		rows, err := r.Figure9()
+		rows, err := r.Figure9(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.Figure9Table(rows))
 	}
 	if pick("fig10") {
-		rows, err := r.Figure10()
+		rows, err := r.Figure10(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.Figure10Table(rows))
 	}
 	if pick("ablations") {
-		rows, err := r.LookaheadSweep([]int{4, 8, 20, 32})
+		rows, err := r.LookaheadSweep(ctx, []int{4, 8, 20, 32})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(experiments.AblationTable("Ablation: SHIFT lookahead depth (Confluence)", rows))
-		rows, err = r.SharedVsPrivateHistory()
+		rows, err = r.SharedVsPrivateHistory(ctx)
 		if err != nil {
 			fatal(err)
 		}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000]
+//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000] [-workers N]
 package main
 
 import (
@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"os"
 
+	"confluence/internal/cliutil"
 	"confluence/internal/core"
+	"confluence/internal/experiments"
 	"confluence/internal/synth"
 	"confluence/internal/trace"
 )
@@ -21,6 +23,7 @@ func main() {
 	workload := flag.String("workload", "OLTP-DB2", "workload profile name")
 	cores := flag.Int("cores", 8, "CMP width")
 	instr := flag.Uint64("instr", 1_500_000, "per-core instructions (warmup = measure)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	flag.Parse()
 
 	prof, ok := synth.ProfileByName(*workload)
@@ -71,15 +74,24 @@ func main() {
 	}
 	fmt.Printf("%-18s %7s %8s %8s | per kilo-instruction: %7s %7s %7s %7s\n",
 		"design", "IPC", "btbMPKI", "l1iMPKI", "L1Istall", "misfet", "bubble", "resolve")
-	opt := core.DefaultOptions()
-	opt.Cores = *cores
+
+	// Fan the design points out across the grid scheduler, then print in
+	// the fixed design order above.
+	ctx, stop := cliutil.InterruptContext()
+	defer stop()
+	sc := experiments.Scale{Name: "probe", Cores: *cores, Warmup: *instr, Measure: *instr}
+	r := experiments.NewRunnerFor(sc, []*synth.Workload{w})
+	r.Workers = *workers
+	if err := r.Grid(designs).Execute(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "frontend-probe:", err)
+		os.Exit(1)
+	}
 	for _, dp := range designs {
-		sys, err := core.NewSystem(w, dp, opt)
+		st, err := r.RunDefault(w, dp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "frontend-probe:", err)
 			os.Exit(1)
 		}
-		st := sys.Run(*instr, *instr)
 		k := float64(st.Instructions) / 1000
 		fmt.Printf("%-18s %7.3f %8.1f %8.1f | %29.1f %7.1f %7.1f %7.1f\n",
 			dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI(),

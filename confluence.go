@@ -28,12 +28,14 @@
 package confluence
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"confluence/internal/core"
 	"confluence/internal/experiments"
 	"confluence/internal/frontend"
+	"confluence/internal/parallel"
 	"confluence/internal/synth"
 )
 
@@ -109,6 +111,12 @@ type Config struct {
 	MeasureInstr uint64
 	// Tuning, optional: zero value uses the paper's configuration.
 	Options Options
+	// Parallelism bounds concurrent simulations when this Config seeds a
+	// multi-cell API (CompareWith, or RunMany when its explicit parallelism
+	// parameter is zero — RunMany reads the first config's value). Zero
+	// resolves through the REPRO_WORKERS environment variable, then
+	// GOMAXPROCS. A single Run is one simulation and ignores it.
+	Parallelism int
 }
 
 // Result is a completed simulation.
@@ -152,34 +160,72 @@ func Run(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// DefaultParallelism returns the simulation fan-out used when a Config's
+// Parallelism is zero: REPRO_WORKERS if set, otherwise GOMAXPROCS.
+func DefaultParallelism() int { return parallel.Workers(0) }
+
+// RunMany executes the configs concurrently on a bounded worker pool and
+// returns results in input order — never completion order, so output is
+// deterministic for any worker count. A zero parallelism falls back to the
+// first config's Parallelism, then REPRO_WORKERS, then GOMAXPROCS. The
+// first error cancels the remaining runs.
+func RunMany(ctx context.Context, parallelism int, cfgs []Config) ([]*Result, error) {
+	if parallelism <= 0 && len(cfgs) > 0 {
+		parallelism = cfgs[0].Parallelism
+	}
+	res := make([]*Result, len(cfgs))
+	err := parallel.ForEach(ctx, parallelism, len(cfgs),
+		func(_ context.Context, i int) error {
+			r, err := Run(cfgs[i])
+			res[i] = r
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // Compare runs several design points on one workload and returns speedups
 // relative to the first design in the list.
 func Compare(w *Workload, designs []DesignPoint, cores int) (map[DesignPoint]float64, error) {
+	return CompareWith(context.Background(), Config{Workload: w, Cores: cores}, designs)
+}
+
+// CompareWith is Compare with an explicit base configuration: every design
+// is simulated under base (Design ignored), fanning out across
+// base.Parallelism workers, and speedups are normalized to the first
+// design in the list.
+func CompareWith(ctx context.Context, base Config, designs []DesignPoint) (map[DesignPoint]float64, error) {
 	if len(designs) == 0 {
 		return nil, fmt.Errorf("confluence: no designs to compare")
 	}
-	speedups := make(map[DesignPoint]float64, len(designs))
-	var baseIPC float64
+	cfgs := make([]Config, len(designs))
 	for i, dp := range designs {
-		res, err := Run(Config{Workload: w, Design: dp, Cores: cores})
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			baseIPC = res.Stats.IPC()
-		}
-		speedups[dp] = res.Stats.IPC() / baseIPC
+		cfgs[i] = base
+		cfgs[i].Design = dp
+	}
+	res, err := RunMany(ctx, base.Parallelism, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	speedups := make(map[DesignPoint]float64, len(designs))
+	baseIPC := res[0].Stats.IPC()
+	for i, dp := range designs {
+		speedups[dp] = res[i].Stats.IPC() / baseIPC
 	}
 	return speedups, nil
 }
 
 // Experiments exposes the paper's table/figure runners at a given scale
 // name ("small", "default", "paper"); see package
-// confluence/internal/experiments for the individual runners.
+// confluence/internal/experiments for the individual runners. The runner's
+// grid scheduler fans simulations out across DefaultParallelism workers;
+// set Runner.Workers to override.
 func Experiments(scale string) (*experiments.Runner, error) {
 	sc, ok := experiments.ScaleByName(scale)
 	if !ok {
 		sc = experiments.Default
 	}
-	return experiments.NewRunner(sc)
+	return experiments.NewRunner(sc, 0)
 }

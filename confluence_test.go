@@ -100,3 +100,76 @@ func TestExperimentsFactory(t *testing.T) {
 		t.Errorf("fallback scale = %q", r2.Scale.Name)
 	}
 }
+
+func TestRunMany(t *testing.T) {
+	w, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := []DesignPoint{Base1K, FDP1K, Confluence}
+	cfgs := make([]Config, len(designs))
+	for i, dp := range designs {
+		cfgs[i] = Config{
+			Workload: w, Design: dp, Cores: 2,
+			WarmupInstr: 20_000, MeasureInstr: 50_000,
+		}
+	}
+	res, err := RunMany(t.Context(), 4, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(designs) {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Results must come back in input order regardless of completion order.
+	for i, dp := range designs {
+		if res[i].Config.Design != dp {
+			t.Errorf("result %d is %v, want %v", i, res[i].Config.Design, dp)
+		}
+		if res[i].Stats.IPC() <= 0 {
+			t.Errorf("result %d has no IPC", i)
+		}
+	}
+}
+
+func TestRunManyPropagatesError(t *testing.T) {
+	w, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{Workload: w, Design: Base1K, Cores: 2, WarmupInstr: 20_000, MeasureInstr: 50_000},
+		{Design: Confluence}, // nil workload: must fail the batch
+	}
+	if _, err := RunMany(t.Context(), 2, cfgs); err == nil {
+		t.Error("nil workload accepted by RunMany")
+	}
+}
+
+func TestCompareWithParallelism(t *testing.T) {
+	w, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Workload: w, Cores: 2, Parallelism: 4,
+		WarmupInstr: 20_000, MeasureInstr: 50_000,
+	}
+	speedups, err := CompareWith(t.Context(), base, []DesignPoint{Base1K, Ideal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedups[Base1K] != 1.0 {
+		t.Errorf("baseline speedup = %v", speedups[Base1K])
+	}
+	if speedups[Ideal] <= 1.0 {
+		t.Errorf("Ideal speedup = %v", speedups[Ideal])
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	t.Setenv("REPRO_WORKERS", "5")
+	if got := DefaultParallelism(); got != 5 {
+		t.Errorf("DefaultParallelism with REPRO_WORKERS=5 = %d", got)
+	}
+}

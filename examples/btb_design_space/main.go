@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,42 +18,48 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
+	// Both sweeps run all their design-space points concurrently via
+	// RunMany; output stays in sweep order.
 	fmt.Println("Conventional BTB capacity sweep (Web-Frontend, no prefetch):")
-	base := 0.0
-	for _, entries := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
+	entriesSweep := []int{1024, 2048, 4096, 8192, 16384, 32768}
+	cfgs := make([]confluence.Config, len(entriesSweep))
+	for i, entries := range entriesSweep {
 		opt := core.DefaultOptions()
 		opt.SweepBTBEntries = entries
-		res, err := confluence.Run(confluence.Config{
-			Workload: w, Design: core.SweepBTB, Cores: 4, Options: opt,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if entries == 1024 {
-			base = res.Stats.BTBMPKI()
-		}
+		cfgs[i] = confluence.Config{Workload: w, Design: core.SweepBTB, Cores: 4, Options: opt}
+	}
+	results, err := confluence.RunMany(ctx, 0, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[0].Stats.BTBMPKI()
+	for i, entries := range entriesSweep {
+		mpki := results[i].Stats.BTBMPKI()
 		fmt.Printf("  %6d entries: %6.2f MPKI (%5.1f%% of 1K's misses eliminated)\n",
-			entries, res.Stats.BTBMPKI(), 100*(1-res.Stats.BTBMPKI()/base))
+			entries, mpki, 100*(1-mpki/base))
 	}
 
 	fmt.Println("\nAirBTB sensitivity (B = entries/bundle, OB = overflow entries):")
-	for _, cfg := range []airbtb.Config{
+	airSweep := []airbtb.Config{
 		{Bundles: 512, EntriesPerBundle: 3, OverflowEntries: 0},
 		{Bundles: 512, EntriesPerBundle: 3, OverflowEntries: 32},
 		{Bundles: 512, EntriesPerBundle: 4, OverflowEntries: 0},
 		{Bundles: 512, EntriesPerBundle: 4, OverflowEntries: 32},
-	} {
+	}
+	cfgs = make([]confluence.Config, len(airSweep))
+	for i, cfg := range airSweep {
 		opt := core.DefaultOptions()
 		opt.Air = cfg
-		res, err := confluence.Run(confluence.Config{
-			Workload: w, Design: confluence.Confluence, Cores: 4, Options: opt,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+		cfgs[i] = confluence.Config{Workload: w, Design: confluence.Confluence, Cores: 4, Options: opt}
+	}
+	if results, err = confluence.RunMany(ctx, 0, cfgs); err != nil {
+		log.Fatal(err)
+	}
+	for i, cfg := range airSweep {
 		fmt.Printf("  B:%d OB:%-3d -> %6.2f MPKI, %4.1f KB of storage\n",
 			cfg.EntriesPerBundle, cfg.OverflowEntries,
-			res.Stats.BTBMPKI(), float64(cfg.StorageBits())/8/1024)
+			results[i].Stats.BTBMPKI(), float64(cfg.StorageBits())/8/1024)
 	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,15 +26,21 @@ func main() {
 		confluence.Ideal,
 	}
 
+	// The six designs simulate concurrently; the table prints in list order.
+	cfgs := make([]confluence.Config, len(designs))
+	for i, dp := range designs {
+		cfgs[i] = confluence.Config{Workload: w, Design: dp, Cores: 8}
+	}
+	results, err := confluence.RunMany(context.Background(), 0, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("OLTP-Oracle cycle decomposition (cycles per kilo-instruction)\n\n")
 	fmt.Printf("%-18s %7s | %7s %7s %7s %7s %7s %7s\n",
 		"design", "IPC", "issue", "backend", "L1-I", "misfet", "bubble", "resolve")
-	for _, dp := range designs {
-		res, err := confluence.Run(confluence.Config{Workload: w, Design: dp, Cores: 8})
-		if err != nil {
-			log.Fatal(err)
-		}
-		st := res.Stats
+	for i, dp := range designs {
+		st := results[i].Stats
 		k := float64(st.Instructions) / 1000
 		fmt.Printf("%-18s %7.3f | %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f\n",
 			dp, st.IPC(),

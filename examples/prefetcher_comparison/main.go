@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,15 +28,21 @@ func main() {
 		{"SHIFT", confluence.Base1KSHIFT},
 	}
 
+	// All three designs simulate concurrently; RunMany keeps input order.
+	cfgs := make([]confluence.Config, len(rows))
+	for i, r := range rows {
+		cfgs[i] = confluence.Config{Workload: w, Design: r.design, Cores: 8}
+	}
+	results, err := confluence.RunMany(context.Background(), 0, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%-14s %8s %10s %12s %14s\n",
 		"prefetcher", "IPC", "L1-I MPKI", "pref issued", "pref useful")
 	var base float64
 	for i, r := range rows {
-		res, err := confluence.Run(confluence.Config{Workload: w, Design: r.design, Cores: 8})
-		if err != nil {
-			log.Fatal(err)
-		}
-		st := res.Stats
+		st := results[i].Stats
 		if i == 0 {
 			base = st.L1IMPKI()
 		}

@@ -1,0 +1,3 @@
+module confluence
+
+go 1.24

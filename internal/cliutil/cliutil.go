@@ -1,0 +1,23 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// InterruptContext returns a context cancelled by the first SIGINT. The
+// signal handler is unregistered as soon as the context ends, restoring
+// the default disposition so a second Ctrl-C force-kills immediately —
+// simulation cells are not interruptible mid-run, and the first Ctrl-C
+// only cancels between cells. The returned stop function releases the
+// handler early (call it via defer).
+func InterruptContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

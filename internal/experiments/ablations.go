@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"confluence/internal/core"
@@ -11,7 +12,9 @@ import (
 // DESIGN.md calls out: SHIFT's lookahead depth (timeliness vs waste),
 // shared vs private history (the paper's inter-core redundancy argument),
 // and AirBTB bundle count versus the L1-I block count (the strict-sync
-// choice).
+// choice). Like the figures, each sweep plans its whole grid first,
+// executes it across the worker pool, then assembles rows in canonical
+// (workload, config) order.
 
 // AblationRow is one configuration's outcome on one workload.
 type AblationRow struct {
@@ -22,43 +25,27 @@ type AblationRow struct {
 	L1IMPKI  float64
 }
 
-// LookaheadSweep measures Confluence across SHIFT lookahead depths.
-func (r *Runner) LookaheadSweep(depths []int) ([]AblationRow, error) {
-	var rows []AblationRow
+// sweep plans Confluence over every (workload, option variant) pair and
+// assembles one AblationRow per cell. configs yields the variant's label
+// and options by index.
+func (r *Runner) sweep(ctx context.Context, n int, configs func(int) (string, core.Options)) ([]AblationRow, error) {
+	plan := r.NewPlan()
 	for _, w := range r.Workloads {
-		for _, d := range depths {
-			opt := r.options()
-			opt.Shift.Lookahead = d
-			st, err := r.Run(w, core.Confluence, opt)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Workload: w.Prof.Name, Config: formatInt("lookahead=", d),
-				IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
-			})
+		for i := 0; i < n; i++ {
+			_, opt := configs(i)
+			plan.Add(w, core.Confluence, opt)
 		}
 	}
-	return rows, nil
-}
-
-// SharedVsPrivateHistory compares the paper's shared SHIFT history against
-// per-core private instances (the sharing is an area play; performance
-// should be close — the paper reports the same for PhantomBTB's shared
-// variant).
-func (r *Runner) SharedVsPrivateHistory() ([]AblationRow, error) {
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, w := range r.Workloads {
-		for _, private := range []bool{false, true} {
-			opt := r.options()
-			opt.HistoryPerCore = private
-			st, err := r.Run(w, core.Confluence, opt)
+		for i := 0; i < n; i++ {
+			name, opt := configs(i)
+			st, err := r.RunCtx(ctx, w, core.Confluence, opt)
 			if err != nil {
 				return nil, err
-			}
-			name := "shared-history"
-			if private {
-				name = "private-history"
 			}
 			rows = append(rows, AblationRow{
 				Workload: w.Prof.Name, Config: name,
@@ -69,26 +56,39 @@ func (r *Runner) SharedVsPrivateHistory() ([]AblationRow, error) {
 	return rows, nil
 }
 
+// LookaheadSweep measures Confluence across SHIFT lookahead depths.
+func (r *Runner) LookaheadSweep(ctx context.Context, depths []int) ([]AblationRow, error) {
+	return r.sweep(ctx, len(depths), func(i int) (string, core.Options) {
+		opt := r.options()
+		opt.Shift.Lookahead = depths[i]
+		return formatInt("lookahead=", depths[i]), opt
+	})
+}
+
+// SharedVsPrivateHistory compares the paper's shared SHIFT history against
+// per-core private instances (the sharing is an area play; performance
+// should be close — the paper reports the same for PhantomBTB's shared
+// variant).
+func (r *Runner) SharedVsPrivateHistory(ctx context.Context) ([]AblationRow, error) {
+	return r.sweep(ctx, 2, func(i int) (string, core.Options) {
+		opt := r.options()
+		opt.HistoryPerCore = i == 1
+		if opt.HistoryPerCore {
+			return "private-history", opt
+		}
+		return "shared-history", opt
+	})
+}
+
 // BundleCountSweep varies AirBTB's bundle count relative to the 512 L1-I
 // blocks. Fewer bundles than blocks breaks strict content synchronization
 // (bundles for resident blocks get dropped early); more wastes storage.
-func (r *Runner) BundleCountSweep(bundles []int) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, w := range r.Workloads {
-		for _, n := range bundles {
-			opt := r.options()
-			opt.Air.Bundles = n
-			st, err := r.Run(w, core.Confluence, opt)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Workload: w.Prof.Name, Config: formatInt("bundles=", n),
-				IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
-			})
-		}
-	}
-	return rows, nil
+func (r *Runner) BundleCountSweep(ctx context.Context, bundles []int) ([]AblationRow, error) {
+	return r.sweep(ctx, len(bundles), func(i int) (string, core.Options) {
+		opt := r.options()
+		opt.Air.Bundles = bundles[i]
+		return formatInt("bundles=", bundles[i]), opt
+	})
 }
 
 // AblationTable formats ablation rows.

@@ -4,14 +4,25 @@
 // reports; absolute values differ from the paper (our substrate is a
 // synthetic-workload simulator), but the shapes — orderings, rough factors,
 // crossovers — are the reproduction target (EXPERIMENTS.md tracks both).
+//
+// The evaluation grid is embarrassingly parallel: every (workload, design
+// point, options) cell is a self-contained, individually seeded simulation.
+// Figures collect their cells into a Plan, which executes them on a bounded
+// worker pool and memoizes results by cell key; tables are then assembled
+// from the memo in canonical cell order, so output is bit-identical
+// regardless of worker count.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"sync"
 
 	"confluence/internal/core"
 	"confluence/internal/frontend"
+	"confluence/internal/parallel"
 	"confluence/internal/synth"
 )
 
@@ -53,32 +64,60 @@ func ScaleFromEnv() Scale {
 }
 
 // Runner executes design points over the workload suite, caching results so
-// figures that share runs (e.g. the Base1K baseline) pay for them once.
+// figures that share runs (e.g. the Base1K baseline) pay for them once. A
+// Runner is safe for concurrent use: the memo cache is singleflight per
+// cell key and Progress callbacks are serialized, even when Workers is 1.
 type Runner struct {
 	Scale     Scale
 	Workloads []*synth.Workload
-	// Progress, if set, receives a line per completed run.
+	// Workers bounds concurrent simulations when a Plan executes. Zero
+	// resolves through REPRO_WORKERS, then GOMAXPROCS (see parallel.Workers).
+	Workers int
+	// Progress, if set, receives a line per completed run. Calls are
+	// serialized; the callback needs no locking of its own.
 	Progress func(string)
 
-	cache map[string]*frontend.Stats
+	mu         sync.Mutex // guards cache
+	cache      map[string]*cacheEntry
+	progressMu sync.Mutex
 }
 
-// NewRunner builds the five-workload suite at the given scale.
-func NewRunner(sc Scale) (*Runner, error) {
-	r := &Runner{Scale: sc, cache: make(map[string]*frontend.Stats)}
-	for _, prof := range synth.Profiles() {
-		w, err := synth.Build(prof)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: building %s: %w", prof.Name, err)
-		}
-		r.Workloads = append(r.Workloads, w)
+// cacheEntry is a singleflight slot: the first goroutine to claim a cell
+// key simulates it and closes done; later arrivals block on done and share
+// the result.
+type cacheEntry struct {
+	done  chan struct{}
+	stats *frontend.Stats
+	err   error
+}
+
+// NewRunner builds the five-workload suite at the given scale, fanning
+// workload generation out across the same bound the returned runner will
+// simulate with (workers resolves like Runner.Workers; pass 0 for the
+// REPRO_WORKERS/GOMAXPROCS default).
+func NewRunner(sc Scale, workers int) (*Runner, error) {
+	r := &Runner{Scale: sc, Workers: workers, cache: make(map[string]*cacheEntry)}
+	profiles := synth.Profiles()
+	ws := make([]*synth.Workload, len(profiles))
+	err := parallel.ForEach(context.Background(), r.workers(), len(profiles),
+		func(_ context.Context, i int) error {
+			w, err := synth.Build(profiles[i])
+			if err != nil {
+				return fmt.Errorf("experiments: building %s: %w", profiles[i].Name, err)
+			}
+			ws[i] = w
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	r.Workloads = ws
 	return r, nil
 }
 
 // NewRunnerFor builds a runner over an explicit workload list (tests).
 func NewRunnerFor(sc Scale, ws []*synth.Workload) *Runner {
-	return &Runner{Scale: sc, Workloads: ws, cache: make(map[string]*frontend.Stats)}
+	return &Runner{Scale: sc, Workloads: ws, cache: make(map[string]*cacheEntry)}
 }
 
 func optKey(opt core.Options) string {
@@ -87,23 +126,87 @@ func optKey(opt core.Options) string {
 		opt.SweepBTBEntries, opt.Shift.Lookahead, opt.HistoryPerCore)
 }
 
+func cellKey(w *synth.Workload, dp core.DesignPoint, opt core.Options) string {
+	return w.Prof.Name + "|" + dp.String() + "|" + optKey(opt)
+}
+
+// workers resolves the runner's effective worker count.
+func (r *Runner) workers() int { return parallel.Workers(r.Workers) }
+
 // Run simulates one (workload, design point, options) cell, with caching.
+// It is shorthand for RunCtx with a background context.
 func (r *Runner) Run(w *synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, error) {
-	key := w.Prof.Name + "|" + dp.String() + "|" + optKey(opt)
-	if st, ok := r.cache[key]; ok {
-		return st, nil
+	return r.RunCtx(context.Background(), w, dp, opt)
+}
+
+// RunCtx simulates one cell, memoizing by cell key. Concurrent calls for
+// the same key simulate once and share the result (singleflight); a failed
+// or cancelled computation is evicted so later calls can retry. A waiter
+// whose own context is still live does not inherit a leader's cancellation
+// — it retries the (evicted) key, so cancelling one plan never fails a
+// concurrent plan sharing cells on the same runner.
+func (r *Runner) RunCtx(ctx context.Context, w *synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, error) {
+	key := cellKey(w, dp, opt)
+	for {
+		r.mu.Lock()
+		e, leader := r.cache[key]
+		if !leader {
+			e = &cacheEntry{done: make(chan struct{})}
+			r.cache[key] = e
+			r.mu.Unlock()
+			e.stats, e.err = r.simulate(ctx, w, dp, opt)
+			if e.err != nil {
+				r.mu.Lock()
+				delete(r.cache, key)
+				r.mu.Unlock()
+			}
+			close(e.done)
+			return e.stats, e.err
+		}
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			if isCancellation(e.err) && ctx.Err() == nil {
+				continue // the leader was cancelled, we weren't: retry
+			}
+			return e.stats, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// simulate runs one cell uncached. Simulations are not interruptible
+// mid-run; cancellation is honored between cells.
+func (r *Runner) simulate(ctx context.Context, w *synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sys, err := core.NewSystem(w, dp, opt)
 	if err != nil {
 		return nil, err
 	}
 	st := sys.Run(r.Scale.Warmup, r.Scale.Measure)
-	r.cache[key] = st
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
-			w.Prof.Name, dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI()))
-	}
+	r.progress(func() string {
+		return fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
+			w.Prof.Name, dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI())
+	})
 	return st, nil
+}
+
+// progress emits one serialized Progress line; the line is only formatted
+// when a callback is installed.
+func (r *Runner) progress(line func() string) {
+	if r.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.Progress(line())
 }
 
 // options returns the default options at the runner's scale.

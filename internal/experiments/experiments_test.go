@@ -81,7 +81,7 @@ func TestRunCaching(t *testing.T) {
 
 func TestFigure1ShapeDecreasing(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.Figure1()
+	rows, err := r.Figure1(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFigure1ShapeDecreasing(t *testing.T) {
 
 func TestTable2PlausibleDensity(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.Table2()
+	rows, err := r.Table2(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestTable2PlausibleDensity(t *testing.T) {
 
 func TestFigure6Ordering(t *testing.T) {
 	r := tinyRunner(t)
-	points, err := r.Figure6()
+	points, err := r.Figure6(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFigure6Ordering(t *testing.T) {
 
 func TestFigure7ConfluenceNearIdealBTB(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.Figure7()
+	rows, err := r.Figure7(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestFigure7ConfluenceNearIdealBTB(t *testing.T) {
 
 func TestFigure8CoverageDecomposes(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.Figure8()
+	rows, err := r.Figure8(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestFigure8CoverageDecomposes(t *testing.T) {
 
 func TestFigure9Ordering(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.Figure9()
+	rows, err := r.Figure9(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestFigure9Ordering(t *testing.T) {
 
 func TestFigure10OverflowBufferMatters(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.Figure10()
+	rows, err := r.Figure10(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,14 +236,14 @@ func TestFigure10OverflowBufferMatters(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	r := tinyRunner(t)
-	rows, err := r.LookaheadSweep([]int{4, 20})
+	rows, err := r.LookaheadSweep(t.Context(), []int{4, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	shared, err := r.SharedVsPrivateHistory()
+	shared, err := r.SharedVsPrivateHistory(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestNewRunnerBuildsSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full workload suite build in -short mode")
 	}
-	r, err := NewRunner(Small)
+	r, err := NewRunner(Small, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

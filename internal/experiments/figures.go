@@ -1,12 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"confluence/internal/airbtb"
 	"confluence/internal/core"
 	"confluence/internal/stats"
 )
+
+// Every figure follows the same two-phase shape: collect all needed cells
+// into a Plan (baselines included), execute the plan across the worker
+// pool, then assemble rows in canonical order from the memo cache — so row
+// and column order never depend on which worker finished first.
 
 // Figure1Sizes are the BTB capacities swept by the paper's Figure 1.
 var Figure1Sizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
@@ -17,18 +23,33 @@ type Fig1Row struct {
 	MPKI     []float64 // parallel to Figure1Sizes
 }
 
+// sweepOptions returns default options with the conventional BTB sized to
+// entries (Figure 1 / Figure 9's 16K reference point).
+func (r *Runner) sweepOptions(entries int) core.Options {
+	opt := r.options()
+	opt.SweepBTBEntries = entries
+	return opt
+}
+
 // Figure1 reproduces "BTB MPKI as a function of BTB capacity": a
 // conventional BTB swept from 1K to 32K entries, no prefetching. The
 // paper's shape: most workloads flatten by 16K entries; OLTP-Oracle still
 // gains at 32K.
-func (r *Runner) Figure1() ([]Fig1Row, error) {
+func (r *Runner) Figure1(ctx context.Context) ([]Fig1Row, error) {
+	plan := r.NewPlan()
+	for _, w := range r.Workloads {
+		for _, e := range Figure1Sizes {
+			plan.Add(w, core.SweepBTB, r.sweepOptions(e))
+		}
+	}
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	var rows []Fig1Row
 	for _, w := range r.Workloads {
 		row := Fig1Row{Workload: w.Prof.Name}
 		for _, e := range Figure1Sizes {
-			opt := r.options()
-			opt.SweepBTBEntries = e
-			st, err := r.Run(w, core.SweepBTB, opt)
+			st, err := r.RunCtx(ctx, w, core.SweepBTB, r.sweepOptions(e))
 			if err != nil {
 				return nil, err
 			}
@@ -85,10 +106,14 @@ type PerfAreaPoint struct {
 }
 
 // perfArea runs a design list and computes normalized points.
-func (r *Runner) perfArea(designs []core.DesignPoint) ([]PerfAreaPoint, error) {
+func (r *Runner) perfArea(ctx context.Context, designs []core.DesignPoint) ([]PerfAreaPoint, error) {
+	plan := r.Grid(append([]core.DesignPoint{core.Base1K}, designs...))
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	base := make(map[string]float64)
 	for _, w := range r.Workloads {
-		st, err := r.RunDefault(w, core.Base1K)
+		st, err := r.RunCtx(ctx, w, core.Base1K, r.options())
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +124,7 @@ func (r *Runner) perfArea(designs []core.DesignPoint) ([]PerfAreaPoint, error) {
 		p := PerfAreaPoint{Design: dp, PerWorkload: make(map[string]float64)}
 		var speedups []float64
 		for _, w := range r.Workloads {
-			st, err := r.RunDefault(w, dp)
+			st, err := r.RunCtx(ctx, w, dp, r.options())
 			if err != nil {
 				return nil, err
 			}
@@ -132,12 +157,16 @@ func (r *Runner) perfArea(designs []core.DesignPoint) ([]PerfAreaPoint, error) {
 
 // Figure2 reproduces "relative performance & area overhead of conventional
 // instruction-supply mechanisms".
-func (r *Runner) Figure2() ([]PerfAreaPoint, error) { return r.perfArea(Figure2Designs) }
+func (r *Runner) Figure2(ctx context.Context) ([]PerfAreaPoint, error) {
+	return r.perfArea(ctx, Figure2Designs)
+}
 
 // Figure6 reproduces Figure 2 plus Confluence: the paper's headline result
 // (Confluence ≈ 85% of Ideal's improvement at ~1% area overhead, vs
 // 2LevelBTB+SHIFT at 62% with ~8%).
-func (r *Runner) Figure6() ([]PerfAreaPoint, error) { return r.perfArea(Figure6Designs) }
+func (r *Runner) Figure6(ctx context.Context) ([]PerfAreaPoint, error) {
+	return r.perfArea(ctx, Figure6Designs)
+}
 
 // PerfAreaTable formats Figure 2/6 results.
 func PerfAreaTable(title string, points []PerfAreaPoint) *stats.Table {
@@ -164,16 +193,20 @@ type Fig7Row struct {
 // conventional BTB when coupled with SHIFT": the paper's shape has
 // PhantomBTB lowest, 2LevelBTB at ~51% of IdealBTB's speedup (stalled by L2
 // bubbles despite matching hit rate), and Confluence at ~90% of IdealBTB.
-func (r *Runner) Figure7() ([]Fig7Row, error) {
+func (r *Runner) Figure7(ctx context.Context) ([]Fig7Row, error) {
+	plan := r.Grid(append([]core.DesignPoint{core.Base1KSHIFT}, Figure7Designs...))
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, w := range r.Workloads {
-		base, err := r.RunDefault(w, core.Base1KSHIFT)
+		base, err := r.RunCtx(ctx, w, core.Base1KSHIFT, r.options())
 		if err != nil {
 			return nil, err
 		}
 		row := Fig7Row{Workload: w.Prof.Name, Speedup: make(map[core.DesignPoint]float64)}
 		for _, dp := range Figure7Designs {
-			st, err := r.RunDefault(w, dp)
+			st, err := r.RunCtx(ctx, w, dp, r.options())
 			if err != nil {
 				return nil, err
 			}
@@ -218,17 +251,21 @@ type Fig8Row struct {
 }
 
 // Figure8 reproduces the AirBTB benefit breakdown.
-func (r *Runner) Figure8() ([]Fig8Row, error) {
+func (r *Runner) Figure8(ctx context.Context) ([]Fig8Row, error) {
 	steps := []core.DesignPoint{core.AirCapacity, core.AirSpatial, core.AirPrefetch, core.Confluence}
+	plan := r.Grid(append([]core.DesignPoint{core.Base1K}, steps...))
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	var rows []Fig8Row
 	for _, w := range r.Workloads {
-		base, err := r.RunDefault(w, core.Base1K)
+		base, err := r.RunCtx(ctx, w, core.Base1K, r.options())
 		if err != nil {
 			return nil, err
 		}
 		var cov [4]float64
 		for i, dp := range steps {
-			st, err := r.RunDefault(w, dp)
+			st, err := r.RunCtx(ctx, w, dp, r.options())
 			if err != nil {
 				return nil, err
 			}
@@ -270,24 +307,29 @@ type Fig9Row struct {
 }
 
 // Figure9 reproduces the coverage comparison.
-func (r *Runner) Figure9() ([]Fig9Row, error) {
+func (r *Runner) Figure9(ctx context.Context) ([]Fig9Row, error) {
+	plan := r.Grid([]core.DesignPoint{core.Base1K, core.PhantomFDP, core.Confluence})
+	for _, w := range r.Workloads {
+		plan.Add(w, core.SweepBTB, r.sweepOptions(16<<10))
+	}
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
 	for _, w := range r.Workloads {
-		base, err := r.RunDefault(w, core.Base1K)
+		base, err := r.RunCtx(ctx, w, core.Base1K, r.options())
 		if err != nil {
 			return nil, err
 		}
-		phantom, err := r.RunDefault(w, core.PhantomFDP)
+		phantom, err := r.RunCtx(ctx, w, core.PhantomFDP, r.options())
 		if err != nil {
 			return nil, err
 		}
-		air, err := r.RunDefault(w, core.Confluence)
+		air, err := r.RunCtx(ctx, w, core.Confluence, r.options())
 		if err != nil {
 			return nil, err
 		}
-		opt := r.options()
-		opt.SweepBTBEntries = 16 << 10
-		conv, err := r.Run(w, core.SweepBTB, opt)
+		conv, err := r.RunCtx(ctx, w, core.SweepBTB, r.sweepOptions(16<<10))
 		if err != nil {
 			return nil, err
 		}
@@ -323,28 +365,36 @@ var Figure10Configs = []airbtb.Config{
 	{Bundles: 512, EntriesPerBundle: 4, OverflowEntries: 32},
 }
 
-// Fig10Row is one workload's coverage per AirBTB configuration.
-type Fig10Row struct {
-	Workload string
-	Coverage []float64 // parallel to Figure10Configs
+// airOptions returns default options with the AirBTB geometry replaced.
+func (r *Runner) airOptions(ac airbtb.Config) core.Options {
+	opt := r.options()
+	opt.Air = ac
+	return opt
 }
 
 // Figure10 reproduces the AirBTB design-parameter sensitivity: without an
 // overflow buffer the 3-entry bundle configuration can be *worse* than the
 // 1K baseline on some workloads (negative coverage), and B:3/OB:32 is the
 // chosen design.
-func (r *Runner) Figure10() ([]Fig10Row, error) {
+func (r *Runner) Figure10(ctx context.Context) ([]Fig10Row, error) {
+	plan := r.Grid([]core.DesignPoint{core.Base1K})
+	for _, w := range r.Workloads {
+		for _, ac := range Figure10Configs {
+			plan.Add(w, core.Confluence, r.airOptions(ac))
+		}
+	}
+	if err := plan.Execute(ctx); err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
 	for _, w := range r.Workloads {
-		base, err := r.RunDefault(w, core.Base1K)
+		base, err := r.RunCtx(ctx, w, core.Base1K, r.options())
 		if err != nil {
 			return nil, err
 		}
 		row := Fig10Row{Workload: w.Prof.Name}
 		for _, ac := range Figure10Configs {
-			opt := r.options()
-			opt.Air = ac
-			st, err := r.Run(w, core.Confluence, opt)
+			st, err := r.RunCtx(ctx, w, core.Confluence, r.airOptions(ac))
 			if err != nil {
 				return nil, err
 			}
@@ -353,6 +403,12 @@ func (r *Runner) Figure10() ([]Fig10Row, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// Fig10Row is one workload's coverage per AirBTB configuration.
+type Fig10Row struct {
+	Workload string
+	Coverage []float64 // parallel to Figure10Configs
 }
 
 // Figure10Table formats Figure 10 results.

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"confluence/internal/cache"
 	"confluence/internal/isa"
+	"confluence/internal/parallel"
 	"confluence/internal/stats"
 	"confluence/internal/synth"
 	"confluence/internal/trace"
@@ -19,11 +22,18 @@ type Table2Row struct {
 }
 
 // Table2 measures branch density with a standalone L1-I residency probe
-// (one core, the paper's 32KB/4-way geometry).
-func (r *Runner) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, w := range r.Workloads {
-		rows = append(rows, table2One(w, r.Scale.Warmup+r.Scale.Measure))
+// (one core, the paper's 32KB/4-way geometry). The probes are independent
+// per workload and fan out across the runner's worker pool; rows are
+// indexed by workload position, so ordering is deterministic.
+func (r *Runner) Table2(ctx context.Context) ([]Table2Row, error) {
+	rows := make([]Table2Row, len(r.Workloads))
+	err := parallel.ForEach(ctx, r.workers(), len(r.Workloads),
+		func(_ context.Context, i int) error {
+			rows[i] = table2One(r.Workloads[i], r.Scale.Warmup+r.Scale.Measure)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,92 @@
+// Package parallel provides the bounded fan-out primitive shared by the
+// experiment grid scheduler, the multi-cell public API, and the CLIs.
+// Simulation cells are self-contained and individually seeded, so they can
+// run on any goroutine; determinism is preserved by indexing results by
+// input position, never by completion order.
+package parallel
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n if positive, otherwise the
+// REPRO_WORKERS environment variable, otherwise GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv("REPRO_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (see Workers for how non-positive values resolve). The first
+// error cancels the context seen by in-flight and not-yet-started calls and
+// is returned; otherwise ForEach returns the parent context's error, if
+// any. With one worker the calls run sequentially on the calling goroutine
+// in index order, so a single-worker pool behaves exactly like a plain
+// loop.
+func ForEach(parent context.Context, workers, n int, fn func(context.Context, int) error) error {
+	if n <= 0 {
+		return parent.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := parent.Err(); err != nil {
+				return err
+			}
+			if err := fn(parent, i); err != nil {
+				return err
+			}
+		}
+		return parent.Err()
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}

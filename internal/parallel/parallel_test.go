@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 37
+			var hits [n]atomic.Int32
+			err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Errorf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 1, 5, func(_ context.Context, i int) error {
+		order = append(order, i) // safe: one worker runs on the caller
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	err := ForEach(context.Background(), 2, 1000, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("error did not stop the sweep early")
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEach(ctx, 1, 10, func(context.Context, int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("work ran under a cancelled context")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+	t.Setenv("REPRO_WORKERS", "3")
+	if got := Workers(0); got != 3 {
+		t.Errorf("Workers(0) with REPRO_WORKERS=3 = %d", got)
+	}
+	t.Setenv("REPRO_WORKERS", "bogus")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) fallback = %d, want GOMAXPROCS", got)
+	}
+}

@@ -103,7 +103,10 @@ type Program struct {
 	image   []byte
 	imgBase isa.Addr
 
-	predecoded map[isa.Addr][]isa.PredecodedBranch
+	// predecoded[i] holds the branches of the i-th 64B image block,
+	// materialized once in Finalize so concurrent simulations can share a
+	// Program without synchronization.
+	predecoded [][]isa.PredecodedBranch
 }
 
 // Blocks returns all basic blocks in ascending address order.
@@ -147,7 +150,12 @@ func (p *Program) Finalize() error {
 	if err := p.buildImage(); err != nil {
 		return err
 	}
-	p.predecoded = make(map[isa.Addr][]isa.PredecodedBranch)
+	p.predecoded = make([][]isa.PredecodedBranch, p.NumCacheBlocks())
+	for i := range p.predecoded {
+		off := i * isa.BlockBytes
+		p.predecoded[i] = isa.Predecode(nil, p.image[off:off+isa.BlockBytes],
+			p.imgBase+isa.Addr(off))
+	}
 	return p.Validate()
 }
 
@@ -243,19 +251,16 @@ func putWord(img []byte, off int, w isa.Word) {
 }
 
 // PredecodeBlock returns the predecoded branches of the 64B block at base
-// (which must be block-aligned), caching results. It is the image-side
-// operation Confluence performs on every block filled into the L1-I.
+// (which must be block-aligned), or nil outside the image. It is the
+// image-side operation Confluence performs on every block filled into the
+// L1-I. The table is built in Finalize and read-only afterwards, so it is
+// safe for concurrent use.
 func (p *Program) PredecodeBlock(block isa.Addr) []isa.PredecodedBranch {
-	if pb, ok := p.predecoded[block]; ok {
-		return pb
-	}
 	off := int(block - p.imgBase)
-	var pb []isa.PredecodedBranch
-	if off >= 0 && off+isa.BlockBytes <= len(p.image) {
-		pb = isa.Predecode(nil, p.image[off:off+isa.BlockBytes], block)
+	if off < 0 || off+isa.BlockBytes > len(p.image) {
+		return nil
 	}
-	p.predecoded[block] = pb
-	return pb
+	return p.predecoded[off>>isa.BlockShift]
 }
 
 // Validate checks structural invariants: block alignment, no overlap,
