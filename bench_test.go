@@ -274,7 +274,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		st := sys.Run(0, 250_000)
+		st, err := sys.Run(0, 250_000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		instr += st.Instructions
 	}
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds()/1e6, "Minstr/s")

@@ -4,21 +4,31 @@
 // Usage:
 //
 //	confluence-sim [-scale small|default|paper] [-workers N] [-run fig1,table2,fig6,...] [-v]
+//	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
 //
 // The default runs everything at the "default" scale (8 cores, 3M
 // instructions per core), fanning independent simulation cells out across
 // all CPUs. REPRO_SCALE overrides the default scale; REPRO_WORKERS (or
 // -workers) bounds the worker pool. Results are bit-identical for any
 // worker count. Ctrl-C cancels cleanly between cells.
+//
+// With -trace, the binary replays a capture directory (written by
+// `tracegen -cores`) through the timing model instead of the synthetic
+// suite, running the paper's headline design points on it. Naming the
+// capture's source workload with -trace-workload restores its program
+// image and timing calibration, making the replay bit-identical to the
+// live run that produced the capture.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"confluence"
 	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
 )
@@ -28,6 +38,8 @@ func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments: fig1,table2,fig2,fig6,fig7,fig8,fig9,fig10,ablations,all")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	traceDir := flag.String("trace", "", "replay a capture directory through the timing model instead of the synthetic suite")
+	traceWorkload := flag.String("trace-workload", "", "workload the capture was taken from (restores program image + calibration)")
 	flag.Parse()
 
 	sc := experiments.ScaleFromEnv()
@@ -41,6 +53,13 @@ func main() {
 
 	ctx, stop := cliutil.InterruptContext()
 	defer stop()
+
+	if *traceDir != "" {
+		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {
@@ -131,6 +150,49 @@ func main() {
 	}
 
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// replayTrace runs the paper's headline design points over a capture
+// directory, one replayed simulation per design.
+func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName string, workers int) error {
+	var w *confluence.Workload
+	var err error
+	if workloadName != "" {
+		w, err = confluence.BuildWorkload(workloadName)
+	} else {
+		w, err = confluence.WorkloadFromTrace(dir)
+	}
+	if err != nil {
+		return err
+	}
+
+	designs := []confluence.DesignPoint{
+		confluence.Base1K, confluence.FDP1K, confluence.TwoLevelFDP,
+		confluence.TwoLevelSHIFT, confluence.Confluence, confluence.Ideal,
+	}
+	cfgs := make([]confluence.Config, len(designs))
+	for i, dp := range designs {
+		cfgs[i] = confluence.Config{
+			Workload: w, Design: dp, TraceDir: dir, Cores: sc.Cores,
+			WarmupInstr: sc.Warmup, MeasureInstr: sc.Measure,
+			Parallelism: workers,
+		}
+	}
+	res, err := confluence.RunMany(ctx, workers, cfgs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("replaying %s (%s calibration), %d cores, warmup=%d measure=%d per core\n\n",
+		dir, w.Prof.Name, sc.Cores, sc.Warmup, sc.Measure)
+	fmt.Printf("%-18s %7s %8s %8s %9s\n", "design", "IPC", "btbMPKI", "l1iMPKI", "speedup")
+	base := res[0].Stats.IPC()
+	for i, dp := range designs {
+		st := res[i].Stats
+		fmt.Printf("%-18s %7.3f %8.1f %8.1f %8.2fx\n",
+			dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI(), st.IPC()/base)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,19 +1,25 @@
 // Command tracegen generates synthetic workloads and traces for offline
-// inspection: it can dump workload statistics, write binary basic-block
-// traces, and summarize existing trace files.
+// inspection and replay: it can dump workload statistics, write binary
+// basic-block traces (single-file or per-core capture directories that
+// `confluence-sim -trace` and `frontend-probe -trace` replay), summarize
+// existing trace files, and self-check the codec end to end.
 //
 // Usage:
 //
 //	tracegen -workload OLTP-DB2 -stats
 //	tracegen -workload OLTP-DB2 -n 1000000 -o db2.trace
+//	tracegen -workload OLTP-DB2 -n 1000000 -cores 8 -o db2-capture/
 //	tracegen -summarize db2.trace
+//	tracegen -workload OLTP-DB2 -roundtrip
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"confluence"
 	"confluence/internal/isa"
 	"confluence/internal/synth"
 	"confluence/internal/trace"
@@ -21,11 +27,13 @@ import (
 
 func main() {
 	workload := flag.String("workload", "OLTP-DB2", "workload profile name")
-	n := flag.Uint64("n", 1_000_000, "instructions to trace")
-	out := flag.String("o", "", "output trace file (binary)")
-	seed := flag.Uint64("seed", 1, "executor seed (differentiates cores)")
+	n := flag.Uint64("n", 1_000_000, "instructions to trace (per core with -cores)")
+	out := flag.String("o", "", "output trace file (binary); a directory with -cores > 1")
+	cores := flag.Int("cores", 1, "write a capture directory with one trace file per core, seeded like a live run")
+	seed := flag.Uint64("seed", 1, "executor seed for single-file traces (differentiates cores)")
 	showStats := flag.Bool("stats", false, "print workload statistics and exit")
 	summarize := flag.String("summarize", "", "summarize an existing trace file and exit")
+	roundtrip := flag.Bool("roundtrip", false, "self-check: write -n instructions through the codec and verify the records replay bit-identically")
 	flag.Parse()
 
 	if *summarize != "" {
@@ -57,31 +65,80 @@ func main() {
 		return
 	}
 
-	if *out == "" {
-		fatal(fmt.Errorf("need -o FILE (or -stats / -summarize)"))
+	if *roundtrip {
+		if err := selfCheck(w, *seed, *n); err != nil {
+			fatal(err)
+		}
+		return
 	}
+
+	if *out == "" {
+		fatal(fmt.Errorf("need -o FILE (or -stats / -summarize / -roundtrip)"))
+	}
+
+	if *cores > 1 {
+		if err := confluence.CaptureTrace(w, *out, *cores, *n); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d-core capture (%d instructions per core) to %s\n", *cores, *n, *out)
+		return
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	tw, err := trace.NewWriter(f)
+	exec := trace.NewExecutor(w, *seed)
+	records, instructions, err := trace.Capture(f, exec, *n)
 	if err != nil {
 		fatal(err)
 	}
-	exec := trace.NewExecutor(w, *seed)
+	fmt.Printf("wrote %d records (%d instructions, %d requests) to %s\n",
+		records, instructions, exec.Requests, *out)
+}
+
+// selfCheck streams n instructions through Writer and Reader and verifies
+// the decoded records match the executor's, field for field — a fast
+// end-to-end proof that a capture written on this build replays exactly.
+func selfCheck(w *synth.Workload, seed, n uint64) error {
+	exec := trace.NewExecutor(w, seed)
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		return err
+	}
+	var want []trace.Record
 	var rec trace.Record
-	for exec.Instructions < *n {
-		exec.Next(&rec)
+	for exec.Instructions < n {
+		if err := exec.Next(&rec); err != nil {
+			return err
+		}
+		want = append(want, rec)
 		if err := tw.Write(&rec); err != nil {
-			fatal(err)
+			return fmt.Errorf("roundtrip: encoding record %d: %w", len(want)-1, err)
 		}
 	}
 	if err := tw.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d records (%d instructions, %d requests) to %s\n",
-		tw.Count(), exec.Instructions, exec.Requests, *out)
+	size := buf.Len()
+	tr, err := trace.NewReader(&buf)
+	if err != nil {
+		return err
+	}
+	var got trace.Record
+	for i := range want {
+		if err := tr.Read(&got); err != nil {
+			return fmt.Errorf("roundtrip: decoding record %d: %w", i, err)
+		}
+		if got != want[i] {
+			return fmt.Errorf("roundtrip: record %d diverged:\n  wrote %+v\n  read  %+v", i, want[i], got)
+		}
+	}
+	fmt.Printf("roundtrip OK: %d records (%d instructions, %d bytes) replay bit-identically\n",
+		len(want), exec.Instructions, size)
+	return nil
 }
 
 func summarizeFile(path string) error {

@@ -30,6 +30,8 @@ package confluence
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"confluence/internal/core"
@@ -37,6 +39,7 @@ import (
 	"confluence/internal/frontend"
 	"confluence/internal/parallel"
 	"confluence/internal/synth"
+	"confluence/internal/trace"
 )
 
 // DesignPoint selects a frontend configuration from the paper's evaluation.
@@ -65,8 +68,19 @@ type Stats = frontend.Stats
 // Options fine-tunes system assembly (AirBTB geometry, SHIFT sizing, ...).
 type Options = core.Options
 
-// WorkloadNames lists the five server workloads of the paper's suite.
+// WorkloadNames lists every available synthetic workload: the paper's
+// five-workload suite first (the set the experiment runners reproduce
+// figures over), then the extended scale-out scenarios.
 func WorkloadNames() []string {
+	var names []string
+	for _, p := range synth.ExtendedProfiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// PaperWorkloadNames lists only the paper's five-workload suite.
+func PaperWorkloadNames() []string {
 	var names []string
 	for _, p := range synth.Profiles() {
 		names = append(names, p.Name)
@@ -99,6 +113,71 @@ func BuildAllWorkloads() ([]*Workload, error) {
 	return ws, nil
 }
 
+// WorkloadFromTrace wraps a capture directory (one CFLTRC01 file per
+// captured core, as written by CaptureTrace or `tracegen -cores`) as a
+// Workload: running it replays the capture through the timing model. The
+// returned workload carries default timing calibration and no program
+// image, so predecode-dependent mechanisms see no static metadata; to
+// replay a capture of a known synthetic workload at full fidelity, pass
+// that workload in Config.Workload and the capture in Config.TraceDir
+// instead.
+func WorkloadFromTrace(path string) (*Workload, error) {
+	files, err := trace.TraceFiles(path)
+	if err != nil {
+		return nil, fmt.Errorf("confluence: %w", err)
+	}
+	// Validate the first capture eagerly so a bad path fails here, not
+	// mid-simulation.
+	src, err := trace.OpenFileSource(files[0], 0)
+	if err != nil {
+		return nil, fmt.Errorf("confluence: %w", err)
+	}
+	var rec trace.Record
+	rerr := src.Next(&rec)
+	src.Close()
+	if rerr != nil {
+		return nil, fmt.Errorf("confluence: validating %s: %w", files[0], rerr)
+	}
+	prof := synth.TraceProfile("trace:" + filepath.Base(path))
+	return &Workload{Prof: prof, TraceDir: path}, nil
+}
+
+// CaptureTrace writes a capture of w to dir: one trace file per core
+// (core-000.trace, core-001.trace, ...), each at least instrPerCore
+// instructions long, seeded exactly as a live Run seeds its cores — so a
+// replay of the capture with up to `cores` cores is record-identical to
+// the live simulation it stands in for.
+func CaptureTrace(w *Workload, dir string, cores int, instrPerCore uint64) error {
+	if w == nil || w.Prog == nil {
+		return fmt.Errorf("confluence: CaptureTrace needs a generated workload")
+	}
+	if cores < 1 {
+		return fmt.Errorf("confluence: CaptureTrace needs at least one core")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < cores; i++ {
+		if err := captureCore(w, filepath.Join(dir, fmt.Sprintf("core-%03d.trace", i)),
+			trace.CoreSeed(w.Prof.Seed, i), instrPerCore); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func captureCore(w *Workload, path string, seed, instr uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, _, err := trace.Capture(f, trace.NewExecutor(w, seed), instr); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // Config describes one simulation.
 type Config struct {
 	Workload *Workload
@@ -109,6 +188,15 @@ type Config struct {
 	// 1.5M each).
 	WarmupInstr  uint64
 	MeasureInstr uint64
+	// TraceDir, when non-empty, replays the capture in that directory
+	// through the timing model instead of executing the workload live: core
+	// i replays file i mod F (sorted by name) with a deterministic record
+	// offset when cores outnumber files. It overrides any TraceDir carried
+	// by the Workload itself (see WorkloadFromTrace), while an explicit
+	// Options.Sources overrides both. The Workload is still
+	// required — it supplies timing calibration, and (when it is the
+	// workload the capture was taken from) the program image for predecode.
+	TraceDir string
 	// Tuning, optional: zero value uses the paper's configuration.
 	Options Options
 	// Parallelism bounds concurrent simulations when this Config seeds a
@@ -136,7 +224,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	opt := cfg.Options
 	if opt.Cores == 0 {
+		// Zero-value tuning selects the paper's configuration, but an
+		// explicit source override must survive the swap.
+		src := opt.Sources
 		opt = core.DefaultOptions()
+		opt.Sources = src
 	}
 	if cfg.Cores > 0 {
 		opt.Cores = cfg.Cores
@@ -147,11 +239,22 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MeasureInstr == 0 {
 		cfg.MeasureInstr = 1_500_000
 	}
+	// Options.Sources is the most specific override and wins everywhere
+	// (core.NewSystem resolves it first too); TraceDir then beats the
+	// workload's own supply.
+	if cfg.TraceDir != "" && opt.Sources == nil {
+		dir := cfg.TraceDir
+		opt.Sources = func(i int) (trace.Source, error) { return trace.OpenDirSource(dir, i) }
+	}
 	sys, err := core.NewSystem(cfg.Workload, cfg.Design, opt)
 	if err != nil {
 		return nil, err
 	}
-	st := sys.Run(cfg.WarmupInstr, cfg.MeasureInstr)
+	defer sys.Close()
+	st, err := sys.Run(cfg.WarmupInstr, cfg.MeasureInstr)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		Config:       cfg,
 		Stats:        st,

@@ -6,19 +6,31 @@ import (
 )
 
 func TestWorkloadNames(t *testing.T) {
-	names := WorkloadNames()
-	if len(names) != 5 {
-		t.Fatalf("suite lists %d workloads", len(names))
+	paper := PaperWorkloadNames()
+	if len(paper) != 5 {
+		t.Fatalf("paper suite lists %d workloads", len(paper))
 	}
-	for _, want := range []string{"OLTP-DB2", "OLTP-Oracle", "DSS-Qrys", "Media-Streaming", "Web-Frontend"} {
+	names := WorkloadNames()
+	if len(names) != 7 {
+		t.Fatalf("extended suite lists %d workloads", len(names))
+	}
+	want := []string{"OLTP-DB2", "OLTP-Oracle", "DSS-Qrys", "Media-Streaming",
+		"Web-Frontend", "KeyValue", "Microservices"}
+	for _, w := range want {
 		found := false
 		for _, n := range names {
-			if n == want {
+			if n == w {
 				found = true
 			}
 		}
 		if !found {
-			t.Errorf("workload %q missing", want)
+			t.Errorf("workload %q missing", w)
+		}
+	}
+	// The paper suite is a prefix of the extended listing.
+	for i, n := range paper {
+		if names[i] != n {
+			t.Errorf("extended suite reorders paper workload %d: %q vs %q", i, names[i], n)
 		}
 	}
 }

@@ -2,57 +2,67 @@
 // server workload (distinct request interleavings), sharing the LLC and any
 // virtualized predictor metadata, in the round-robin trace-interleaved
 // style of the paper's methodology (§4.1).
+//
+// The cores' instruction streams come from trace.Sources, so the same
+// timing model replays live synthetic executors, captured trace files, or
+// recorded in-memory streams interchangeably.
 package cmp
 
 import (
 	"fmt"
+	"io"
 
 	"confluence/internal/frontend"
 	"confluence/internal/mem"
 	"confluence/internal/trace"
 )
 
-// System is an assembled CMP: per-core frontends fed by per-core executors
-// over a shared memory hierarchy.
+// System is an assembled CMP: per-core frontends fed by per-core record
+// sources over a shared memory hierarchy.
 type System struct {
-	Cores []*frontend.Core
-	Execs []*trace.Executor
-	Hier  *mem.Hierarchy
+	Cores   []*frontend.Core
+	Sources []trace.Source
+	Hier    *mem.Hierarchy
 }
 
-// New wires a system; len(cores) must equal len(execs).
-func New(cores []*frontend.Core, execs []*trace.Executor, hier *mem.Hierarchy) (*System, error) {
-	if len(cores) == 0 || len(cores) != len(execs) {
-		return nil, fmt.Errorf("cmp: %d cores vs %d executors", len(cores), len(execs))
+// New wires a system; len(cores) must equal len(srcs).
+func New(cores []*frontend.Core, srcs []trace.Source, hier *mem.Hierarchy) (*System, error) {
+	if len(cores) == 0 || len(cores) != len(srcs) {
+		return nil, fmt.Errorf("cmp: %d cores vs %d sources", len(cores), len(srcs))
 	}
-	return &System{Cores: cores, Execs: execs, Hier: hier}, nil
+	return &System{Cores: cores, Sources: srcs, Hier: hier}, nil
 }
 
 // Run simulates warmup+measure instructions per core (round-robin, one
 // basic block per core per turn). Warmup populates caches, predictors, and
 // shared history with statistics frozen; measurement counters are reset at
-// the boundary. It returns the aggregate measured stats.
-func (s *System) Run(warmup, measure uint64) *frontend.Stats {
-	s.phase(warmup)
+// the boundary. It returns the aggregate measured stats. A source failure
+// (a corrupt or exhausted finite trace) aborts the run.
+func (s *System) Run(warmup, measure uint64) (*frontend.Stats, error) {
+	if err := s.phase(warmup); err != nil {
+		return nil, err
+	}
 	for _, c := range s.Cores {
 		c.ResetStats()
 	}
 	if s.Hier != nil {
 		s.Hier.ResetStats()
 	}
-	s.phase(measure)
+	if err := s.phase(measure); err != nil {
+		return nil, err
+	}
 
 	var agg frontend.Stats
 	for _, c := range s.Cores {
 		agg.Add(c.Stats())
 	}
-	return &agg
+	return &agg, nil
 }
 
 // phase advances every core by approximately n instructions.
-func (s *System) phase(n uint64) {
+func (s *System) phase(n uint64) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	var rec trace.Record
 	targets := make([]uint64, len(s.Cores))
@@ -66,13 +76,29 @@ func (s *System) phase(n uint64) {
 				continue
 			}
 			done = false
-			s.Execs[i].Next(&rec)
+			if err := s.Sources[i].Next(&rec); err != nil {
+				return fmt.Errorf("cmp: core %d source: %w", i, err)
+			}
 			c.Step(&rec)
 		}
 		if done {
-			return
+			return nil
 		}
 	}
+}
+
+// Close releases sources holding external resources (trace files); the
+// synthetic executors' Close-less sources are unaffected.
+func (s *System) Close() error {
+	var first error
+	for _, src := range s.Sources {
+		if c, ok := src.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // PerCoreStats returns each core's measured stats (diagnostics).

@@ -24,7 +24,7 @@ func testSystem(t *testing.T, cores int) *System {
 	}
 	hier := mem.New(mem.DefaultConfig(), 0)
 	var cs []*frontend.Core
-	var es []*trace.Executor
+	var es []trace.Source
 	for i := 0; i < cores; i++ {
 		cfg := frontend.DefaultConfig()
 		cfg.CoreID = i
@@ -42,9 +42,18 @@ func testSystem(t *testing.T, cores int) *System {
 	return sys
 }
 
+func mustRun(t *testing.T, sys *System, warmup, measure uint64) *frontend.Stats {
+	t.Helper()
+	st, err := sys.Run(warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestRunReachesInstructionTargets(t *testing.T) {
 	sys := testSystem(t, 3)
-	st := sys.Run(20_000, 50_000)
+	st := mustRun(t, sys, 20_000, 50_000)
 	// Aggregate measured instructions ≈ cores × measure (over-run bounded
 	// by one basic block per core).
 	if st.Instructions < 3*50_000 || st.Instructions > 3*50_000+3*64 {
@@ -57,10 +66,10 @@ func TestRunReachesInstructionTargets(t *testing.T) {
 
 func TestWarmupExcludedFromStats(t *testing.T) {
 	cold := testSystem(t, 2)
-	coldStats := cold.Run(0, 60_000)
+	coldStats := mustRun(t, cold, 0, 60_000)
 
 	warm := testSystem(t, 2)
-	warmStats := warm.Run(60_000, 60_000)
+	warmStats := mustRun(t, warm, 60_000, 60_000)
 
 	// Warmup must strictly reduce measured L1-I misses (cold-start misses
 	// fall outside the measurement window).
@@ -72,7 +81,7 @@ func TestWarmupExcludedFromStats(t *testing.T) {
 
 func TestPerCoreStats(t *testing.T) {
 	sys := testSystem(t, 2)
-	sys.Run(1000, 10_000)
+	mustRun(t, sys, 1000, 10_000)
 	per := sys.PerCoreStats()
 	if len(per) != 2 {
 		t.Fatalf("PerCoreStats returned %d", len(per))
@@ -87,8 +96,8 @@ func TestPerCoreStats(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
-	a := testSystem(t, 2).Run(10_000, 30_000)
-	b := testSystem(t, 2).Run(10_000, 30_000)
+	a := mustRun(t, testSystem(t, 2), 10_000, 30_000)
+	b := mustRun(t, testSystem(t, 2), 10_000, 30_000)
 	if a.Cycles != b.Cycles || a.Instructions != b.Instructions || a.BTBMisses != b.BTBMisses {
 		t.Errorf("identical systems diverged: %v/%v vs %v/%v",
 			a.Cycles, a.BTBMisses, b.Cycles, b.BTBMisses)
@@ -100,15 +109,55 @@ func TestNewValidation(t *testing.T) {
 		t.Error("empty system accepted")
 	}
 	sys := testSystem(t, 2)
-	if _, err := New(sys.Cores, sys.Execs[:1], sys.Hier); err == nil {
+	if _, err := New(sys.Cores, sys.Sources[:1], sys.Hier); err == nil {
 		t.Error("mismatched cores/executors accepted")
 	}
 }
 
 func TestZeroPhases(t *testing.T) {
 	sys := testSystem(t, 1)
-	st := sys.Run(0, 0)
+	st := mustRun(t, sys, 0, 0)
 	if st.Instructions != 0 {
 		t.Errorf("zero-length run measured %d instructions", st.Instructions)
+	}
+}
+
+// TestRunPropagatesSourceErrors: a finite source exhausting mid-run must
+// abort the simulation with an error, not spin or fabricate records.
+func TestRunPropagatesSourceErrors(t *testing.T) {
+	sys := testSystem(t, 2)
+	live := sys.Sources[0]
+	short, err := trace.RecordFrom(live, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short.Loop = false // exhausts after 50 basic blocks
+	if err := short.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Sources[0] = short
+	if _, err := sys.Run(0, 100_000); err == nil {
+		t.Fatal("exhausted source did not fail the run")
+	}
+}
+
+// TestSourcesInterchangeable: replaying a recorded prefix of the executors
+// through MemSources yields bit-identical stats to the live run — the
+// Source seam does not perturb timing.
+func TestSourcesInterchangeable(t *testing.T) {
+	live := testSystem(t, 2)
+	liveStats := mustRun(t, live, 5_000, 20_000)
+
+	recorded := testSystem(t, 2)
+	for i, src := range recorded.Sources {
+		m, err := trace.RecordFrom(src, 40_000) // ≥ warmup+measure basic blocks
+		if err != nil {
+			t.Fatal(err)
+		}
+		recorded.Sources[i] = m
+	}
+	recStats := mustRun(t, recorded, 5_000, 20_000)
+	if *liveStats != *recStats {
+		t.Errorf("recorded replay diverged from live executors:\n live %+v\n rec  %+v", *liveStats, *recStats)
 	}
 }

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"confluence/internal/airbtb"
 	"confluence/internal/area"
@@ -109,6 +110,11 @@ func (d DesignPoint) UsesFDP() bool {
 	return false
 }
 
+// SourceProvider supplies core coreID's instruction stream. Providers must
+// be deterministic in coreID so repeated system assembly replays the same
+// simulation.
+type SourceProvider func(coreID int) (trace.Source, error)
+
 // Options tunes system assembly.
 type Options struct {
 	Cores           int           // CMP size (paper: 16)
@@ -119,6 +125,10 @@ type Options struct {
 	// HistoryPerCore gives every core a private SHIFT history instead of
 	// the shared one (ablation; the paper shares).
 	HistoryPerCore bool
+	// Sources overrides where cores' instruction streams come from. Nil
+	// selects the workload's own supply: live synthetic executors, or — for
+	// a workload carrying a TraceDir — file replay of its capture.
+	Sources SourceProvider
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -162,6 +172,21 @@ func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) 
 		opt.FDP = fdp.DefaultConfig()
 	}
 
+	sources := opt.Sources
+	if sources == nil {
+		switch {
+		case w.TraceDir != "":
+			dir := w.TraceDir
+			sources = func(i int) (trace.Source, error) { return trace.OpenDirSource(dir, i) }
+		case w.Prog != nil:
+			sources = func(i int) (trace.Source, error) {
+				return trace.NewExecutor(w, trace.CoreSeed(w.Prof.Seed, i)), nil
+			}
+		default:
+			return nil, fmt.Errorf("core: workload %q has no program and no trace to replay", w.Prof.Name)
+		}
+	}
+
 	sys := &System{Design: dp, Workload: w}
 
 	// Memory hierarchy: reserve LLC capacity for virtualized metadata.
@@ -189,7 +214,7 @@ func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) 
 
 	prof := w.Prof
 	cores := make([]*frontend.Core, opt.Cores)
-	execs := make([]*trace.Executor, opt.Cores)
+	srcs := make([]trace.Source, opt.Cores)
 	for i := 0; i < opt.Cores; i++ {
 		cfg := frontend.DefaultConfig()
 		cfg.CoreID = i
@@ -253,17 +278,32 @@ func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) 
 		}
 
 		cores[i] = frontend.NewCore(cfg)
-		execs[i] = trace.NewExecutor(w, prof.Seed^uint64(0x9e3779b9*uint32(i+1)))
+		src, err := sources(i)
+		if err != nil {
+			closeAll(srcs[:i])
+			return nil, fmt.Errorf("core: source for core %d: %w", i, err)
+		}
+		srcs[i] = src
 	}
 
-	inner, err := cmp.New(cores, execs, hier)
+	inner, err := cmp.New(cores, srcs, hier)
 	if err != nil {
+		closeAll(srcs)
 		return nil, err
 	}
 	sys.System = inner
 	sys.OverheadMM2 = overheadMM2(dp, opt)
 	sys.RelativeArea = area.Relative(sys.OverheadMM2)
 	return sys, nil
+}
+
+// closeAll releases already-opened sources after a failed assembly.
+func closeAll(srcs []trace.Source) {
+	for _, s := range srcs {
+		if c, ok := s.(io.Closer); ok {
+			c.Close()
+		}
+	}
 }
 
 // airEquivalentConventional builds the Fig 8 intermediate BTB: conventional

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"confluence/internal/frontend"
 	"confluence/internal/isa"
 	"confluence/internal/synth"
 )
@@ -33,6 +34,15 @@ func testWorkload(t *testing.T) *synth.Workload {
 	return sharedTestWorkload
 }
 
+func mustRun(t *testing.T, sys *System, warmup, measure uint64) *frontend.Stats {
+	t.Helper()
+	st, err := sys.Run(warmup, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func smallOpts() Options {
 	opt := DefaultOptions()
 	opt.Cores = 2
@@ -54,7 +64,7 @@ func TestNewSystemAllDesignPoints(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", dp, err)
 		}
-		st := sys.Run(5_000, 20_000)
+		st := mustRun(t, sys, 5_000, 20_000)
 		if st.Instructions < 2*20_000 {
 			t.Errorf("%v: measured %d instructions", dp, st.Instructions)
 		}
@@ -159,7 +169,7 @@ func TestAirBTBSyncInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(10_000, 100_000)
+	mustRun(t, sys, 10_000, 100_000)
 	for i, c := range sys.Cores {
 		air := sys.AirBTBs[i]
 		l1Blocks := c.L1I().Keys(nil)
@@ -180,7 +190,7 @@ func TestSharedHistoryIsShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(0, 50_000)
+	mustRun(t, sys, 0, 50_000)
 	if sys.History == nil || sys.History.Records == 0 {
 		t.Fatal("shared history not recording")
 	}
@@ -194,7 +204,7 @@ func TestPrivateHistoryOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Run(0, 30_000)
+	mustRun(t, sys, 0, 30_000)
 	if sys.History == nil || sys.History.Records == 0 {
 		t.Error("private history (core 0) not recording")
 	}
@@ -205,8 +215,8 @@ func TestConfluenceBeatsBaseline(t *testing.T) {
 	opt := smallOpts()
 	base, _ := NewSystem(w, Base1K, opt)
 	conf, _ := NewSystem(w, Confluence, opt)
-	bs := base.Run(100_000, 200_000)
-	cs := conf.Run(100_000, 200_000)
+	bs := mustRun(t, base, 100_000, 200_000)
+	cs := mustRun(t, conf, 100_000, 200_000)
 	if cs.IPC() <= bs.IPC() {
 		t.Errorf("Confluence (%.3f) did not beat baseline (%.3f)", cs.IPC(), bs.IPC())
 	}
@@ -219,10 +229,10 @@ func TestIdealIsBest(t *testing.T) {
 	w := testWorkload(t)
 	opt := smallOpts()
 	ideal, _ := NewSystem(w, Ideal, opt)
-	is := ideal.Run(50_000, 100_000)
+	is := mustRun(t, ideal, 50_000, 100_000)
 	for _, dp := range []DesignPoint{Base1K, TwoLevelSHIFT, Confluence} {
 		sys, _ := NewSystem(w, dp, opt)
-		st := sys.Run(50_000, 100_000)
+		st := mustRun(t, sys, 50_000, 100_000)
 		if st.IPC() > is.IPC()*1.001 {
 			t.Errorf("%v (%.3f) beat Ideal (%.3f)", dp, st.IPC(), is.IPC())
 		}

@@ -127,7 +127,13 @@ func optKey(opt core.Options) string {
 }
 
 func cellKey(w *synth.Workload, dp core.DesignPoint, opt core.Options) string {
-	return w.Prof.Name + "|" + dp.String() + "|" + optKey(opt)
+	key := w.Prof.Name + "|" + dp.String() + "|" + optKey(opt)
+	// A trace-replaying workload is a different cell than a live one with
+	// the same profile name.
+	if w.TraceDir != "" {
+		key += "|trace:" + w.TraceDir
+	}
+	return key
 }
 
 // workers resolves the runner's effective worker count.
@@ -190,7 +196,11 @@ func (r *Runner) simulate(ctx context.Context, w *synth.Workload, dp core.Design
 	if err != nil {
 		return nil, err
 	}
-	st := sys.Run(r.Scale.Warmup, r.Scale.Measure)
+	defer sys.Close()
+	st, err := sys.Run(r.Scale.Warmup, r.Scale.Measure)
+	if err != nil {
+		return nil, err
+	}
 	r.progress(func() string {
 		return fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
 			w.Prof.Name, dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI())

@@ -71,6 +71,11 @@ func (k BranchKind) String() string {
 // IsBranch reports whether k is any control transfer.
 func (k BranchKind) IsBranch() bool { return k != BrNone && k < numBranchKinds }
 
+// Valid reports whether k is a defined branch kind (including BrNone).
+// Deserializers must check it: a raw byte outside the enum is corruption,
+// not a branch kind.
+func (k BranchKind) Valid() bool { return k < numBranchKinds }
+
 // IsDirect reports whether the target is encoded in the instruction
 // (PC-relative displacement), which is what AirBTB stores.
 func (k BranchKind) IsDirect() bool {

@@ -165,3 +165,19 @@ func TestDecodeUnknownOpcode(t *testing.T) {
 		}
 	}
 }
+
+func TestBranchKindValid(t *testing.T) {
+	for k := BrNone; k < numBranchKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("%v not valid", k)
+		}
+	}
+	for _, k := range []BranchKind{numBranchKinds, 42, 255} {
+		if k.Valid() {
+			t.Errorf("BranchKind(%d) reported valid", uint8(k))
+		}
+		if k.IsBranch() {
+			t.Errorf("BranchKind(%d) reported as a branch", uint8(k))
+		}
+	}
+}

@@ -1,9 +1,20 @@
-package prefetch
+// Interface-level tests for every Prefetcher implementation. The package
+// is external (prefetch_test) so it can exercise the real SHIFT and FDP
+// engines through the interface the frontend drives, without an import
+// cycle back into their packages.
+package prefetch_test
 
-import "testing"
+import (
+	"testing"
+
+	"confluence/internal/fdp"
+	"confluence/internal/isa"
+	"confluence/internal/prefetch"
+	"confluence/internal/shift"
+)
 
 func TestNullDoesNothing(t *testing.T) {
-	var n Null
+	var n prefetch.Null
 	if n.Name() != "none" {
 		t.Errorf("Name = %q", n.Name())
 	}
@@ -16,5 +27,225 @@ func TestNullDoesNothing(t *testing.T) {
 	n.Redirect(0) // must not panic
 }
 
-// Compile-time check: Null satisfies the interface it documents.
-var _ Prefetcher = Null{}
+// Compile-time checks: every implementation satisfies the interface.
+var (
+	_ prefetch.Prefetcher = prefetch.Null{}
+	_ prefetch.Prefetcher = (*shift.Engine)(nil)
+	_ prefetch.Prefetcher = (*fdp.FDP)(nil)
+)
+
+// blockAddr turns a block number into the byte address OnAccess receives.
+func blockAddr(n uint64) isa.Addr { return isa.Addr(n << isa.BlockShift) }
+
+// shiftEngine builds a history holding the block-number stream hist and an
+// engine with the given lookahead over it.
+func shiftEngine(hist []uint64, lookahead int, metaLat float64) (*shift.History, *shift.Engine) {
+	h := shift.NewHistory(1 << 10)
+	for _, b := range hist {
+		h.Record(b)
+	}
+	cfg := shift.Config{HistoryEntries: 1 << 10, Lookahead: lookahead}
+	return h, shift.NewEngine(cfg, h, metaLat)
+}
+
+// stream returns n distinct block numbers far enough apart to defeat the
+// history's recent-duplicate filter.
+func stream(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(100 + i*32)
+	}
+	return out
+}
+
+func TestSHIFTRestartStreamsHistory(t *testing.T) {
+	hist := stream(12)
+	const lookahead, metaLat = 4, 10.0
+	_, e := shiftEngine(hist, lookahead, metaLat)
+
+	// An unpredicted miss on hist[0] restarts the stream there: the engine
+	// must issue the blocks that followed it, up to the lookahead, with the
+	// serialized restart delay (two LLC metadata reads) on the first.
+	reqs := e.OnAccess(0, blockAddr(hist[0]), true)
+	if len(reqs) != lookahead {
+		t.Fatalf("restart issued %d requests, want %d", len(reqs), lookahead)
+	}
+	for i, r := range reqs {
+		if want := blockAddr(hist[1+i]); r.Block != want {
+			t.Errorf("request %d prefetches %#x, want %#x", i, r.Block, want)
+		}
+		if want := 2*metaLat + float64(i); r.ExtraDelay != want {
+			t.Errorf("request %d delay %v, want %v (restart + serialized issue)", i, r.ExtraDelay, want)
+		}
+	}
+	if e.StreamRestarts != 1 {
+		t.Errorf("StreamRestarts = %d", e.StreamRestarts)
+	}
+	if e.WindowSize() != lookahead {
+		t.Errorf("window holds %d, want %d", e.WindowSize(), lookahead)
+	}
+}
+
+func TestSHIFTConfirmAdvancesWindow(t *testing.T) {
+	hist := stream(12)
+	const lookahead = 4
+	_, e := shiftEngine(hist, lookahead, 10)
+	e.OnAccess(0, blockAddr(hist[0]), true)
+
+	// Demand touching a predicted block confirms it: it leaves the window
+	// and the stream advances one block, with no restart penalty.
+	reqs := e.OnAccess(1, blockAddr(hist[1]), false)
+	if len(reqs) != 1 {
+		t.Fatalf("confirm issued %d requests, want 1", len(reqs))
+	}
+	if want := blockAddr(hist[1+lookahead]); reqs[0].Block != want {
+		t.Errorf("advance prefetched %#x, want %#x", reqs[0].Block, want)
+	}
+	if reqs[0].ExtraDelay != 0 {
+		t.Errorf("advance carried delay %v, want 0 (no restart)", reqs[0].ExtraDelay)
+	}
+	if e.Confirms != 1 || e.StreamRestarts != 1 {
+		t.Errorf("Confirms=%d StreamRestarts=%d", e.Confirms, e.StreamRestarts)
+	}
+	// Confirms count even when the predicted block missed (a late fill):
+	// the stream still advances rather than restarting.
+	if reqs := e.OnAccess(2, blockAddr(hist[2]), true); len(reqs) != 1 {
+		t.Errorf("late-fill confirm issued %d requests, want 1", len(reqs))
+	}
+	if e.StreamRestarts != 1 {
+		t.Errorf("late-fill confirm restarted the stream")
+	}
+}
+
+func TestSHIFTDuplicateSuppression(t *testing.T) {
+	// A history whose continuation revisits a block: A B C B D E. Replaying
+	// from A must not hold B in the window twice.
+	hist := []uint64{100, 200, 300, 200, 400, 500}
+	_, e := shiftEngine(hist, 4, 10)
+
+	reqs := e.OnAccess(0, blockAddr(100), true)
+	want := []uint64{200, 300, 400, 500} // the duplicate 200 skipped, window topped up past it
+	if len(reqs) != len(want) {
+		t.Fatalf("issued %d requests, want %d", len(reqs), len(want))
+	}
+	for i, r := range reqs {
+		if r.Block != blockAddr(want[i]) {
+			t.Errorf("request %d prefetches %#x, want %#x", i, r.Block, blockAddr(want[i]))
+		}
+	}
+}
+
+func TestSHIFTStreamBoundary(t *testing.T) {
+	// Restarting two blocks before the write frontier: the stream ends
+	// there, so the window cannot fill to the full lookahead.
+	hist := stream(6)
+	_, e := shiftEngine(hist, 8, 10)
+	reqs := e.OnAccess(0, blockAddr(hist[3]), true)
+	if len(reqs) != 2 {
+		t.Fatalf("issued %d requests at the frontier, want 2 (hist[4:])", len(reqs))
+	}
+	if e.WindowSize() != 2 {
+		t.Errorf("window holds %d, want 2", e.WindowSize())
+	}
+	// Confirming at the boundary cannot issue anything further.
+	if reqs := e.OnAccess(1, blockAddr(hist[4]), false); len(reqs) != 0 {
+		t.Errorf("advance past the frontier issued %d requests", len(reqs))
+	}
+}
+
+func TestSHIFTIndexMiss(t *testing.T) {
+	hist := stream(8)
+	_, e := shiftEngine(hist, 4, 10)
+	if reqs := e.OnAccess(0, blockAddr(9999), true); reqs != nil {
+		t.Errorf("unknown block issued %d requests", len(reqs))
+	}
+	if e.IndexMisses != 1 {
+		t.Errorf("IndexMisses = %d", e.IndexMisses)
+	}
+	// A non-miss access to an unpredicted block is ignored entirely.
+	if reqs := e.OnAccess(1, blockAddr(hist[0]), false); reqs != nil {
+		t.Errorf("L1-I hit restarted the stream")
+	}
+	if e.StreamRestarts != 1 {
+		t.Errorf("StreamRestarts = %d, want 1 (only the true miss)", e.StreamRestarts)
+	}
+}
+
+func TestSHIFTIgnoresRegionsAndRedirects(t *testing.T) {
+	hist := stream(12)
+	_, e := shiftEngine(hist, 4, 10)
+	if reqs := e.OnRegion(0, blockAddr(hist[0]), 8); reqs != nil {
+		t.Error("SHIFT issued on a fetch region")
+	}
+	e.OnAccess(0, blockAddr(hist[0]), true)
+	before := e.WindowSize()
+	// SHIFT's run-ahead is autonomous: a pipeline redirect must not destroy
+	// the prediction window (the paper's timeliness argument vs FDP).
+	e.Redirect(1)
+	if e.WindowSize() != before {
+		t.Errorf("redirect shrank the window from %d to %d", before, e.WindowSize())
+	}
+	if reqs := e.OnAccess(2, blockAddr(hist[1]), false); len(reqs) != 1 {
+		t.Errorf("stream did not survive the redirect")
+	}
+}
+
+func TestFDPRegionPrefetchesWithBankedLookahead(t *testing.T) {
+	cfg := fdp.Config{QueueDepth: 6, CyclesPerBB: 1.4}
+	f := fdp.New(cfg)
+
+	// A fresh FDP has a full queue of run-ahead banked.
+	full := float64(cfg.QueueDepth) * cfg.CyclesPerBB
+	reqs := f.OnRegion(0, 0x1000, 4) // 4 instructions inside one block
+	if len(reqs) != 1 {
+		t.Fatalf("single-block region issued %d requests", len(reqs))
+	}
+	if reqs[0].Block != isa.BlockOf(0x1000) || reqs[0].ExtraDelay != -full {
+		t.Errorf("request = %+v, want block %#x delay %v", reqs[0], isa.BlockOf(0x1000), -full)
+	}
+
+	// A region spanning a block boundary prefetches both blocks.
+	start := isa.Addr(0x2000 + 56) // 2 instructions in this block, rest in the next
+	reqs = f.OnRegion(1, start, 6)
+	if len(reqs) != 2 {
+		t.Fatalf("spanning region issued %d requests, want 2", len(reqs))
+	}
+	if reqs[0].Block != isa.BlockOf(start) || reqs[1].Block != isa.BlockOf(start)+isa.BlockBytes {
+		t.Errorf("spanning blocks = %#x, %#x", reqs[0].Block, reqs[1].Block)
+	}
+
+	if reqs := f.OnRegion(2, 0x3000, 0); reqs != nil {
+		t.Error("empty region issued prefetches")
+	}
+	if reqs := f.OnAccess(3, 0x3000, true); reqs != nil {
+		t.Error("FDP issued on access (it is region-driven)")
+	}
+}
+
+func TestFDPRedirectDestroysRunAhead(t *testing.T) {
+	cfg := fdp.Config{QueueDepth: 4, CyclesPerBB: 2}
+	f := fdp.New(cfg)
+
+	f.Redirect(0)
+	// The first region after a redirect has no banked lookahead; each
+	// subsequent region banks one more, capped at the queue depth.
+	wantLA := []float64{0, 2, 4, 6, 8, 8, 8}
+	for i, want := range wantLA {
+		reqs := f.OnRegion(float64(i), 0x1000, 4)
+		if len(reqs) != 1 {
+			t.Fatalf("region %d issued %d requests", i, len(reqs))
+		}
+		if reqs[0].ExtraDelay != -want {
+			t.Errorf("region %d lookahead %v, want %v", i, -reqs[0].ExtraDelay, want)
+		}
+	}
+	if f.Redirects != 1 {
+		t.Errorf("Redirects = %d", f.Redirects)
+	}
+
+	// A second redirect resets the ramp again.
+	f.Redirect(99)
+	if reqs := f.OnRegion(100, 0x1000, 4); reqs[0].ExtraDelay != 0 {
+		t.Errorf("post-redirect lookahead %v, want 0", -reqs[0].ExtraDelay)
+	}
+}

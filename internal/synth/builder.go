@@ -13,12 +13,20 @@ import (
 func mathPow(x, y float64) float64 { return math.Pow(x, y) }
 
 // Workload couples a generated program with its request-execution model:
-// per-request-type entry functions and the request mix.
+// per-request-type entry functions and the request mix. A workload may
+// instead stand for a captured trace: TraceDir names a directory of
+// per-core trace files replacing live execution, and Prog may be nil when
+// the capture's program image is unavailable (external traces).
 type Workload struct {
 	Prof    Profile
 	Prog    *program.Program
 	Entries []*program.Function // Entries[r] is the entry of request type r
 	mixCum  []float64           // cumulative Zipf mix over request types
+
+	// TraceDir, when non-empty, replays the capture in that directory
+	// through the timing model instead of walking Prog with executors
+	// (see trace.OpenDirSource for the per-core striping semantics).
+	TraceDir string
 }
 
 // PickRequest samples a request type from the workload mix.

@@ -78,15 +78,34 @@ func Profiles() []Profile {
 	}
 }
 
-// ProfileByName returns the named profile (as listed by Profiles) and
-// whether it exists.
+// ExtendedProfiles returns every available workload profile: the paper's
+// five plus the post-paper scale-out scenarios (KeyValue, Microservices).
+// Experiment runners that reproduce the paper's figures use Profiles; the
+// CLIs and the library accept any extended profile by name.
+func ExtendedProfiles() []Profile {
+	return append(Profiles(), KeyValue(), Microservices())
+}
+
+// ProfileByName returns the named profile (searching the extended suite)
+// and whether it exists.
 func ProfileByName(name string) (Profile, bool) {
-	for _, p := range Profiles() {
+	for _, p := range ExtendedProfiles() {
 		if p.Name == name {
 			return p, true
 		}
 	}
 	return Profile{}, false
+}
+
+// TraceProfile returns the calibration profile used when a workload is a
+// replayed capture rather than a generated program: the timing knobs the
+// frontend consumes (BackendCPI, Exposure) at their suite-typical values,
+// with no generator parameters. Callers replaying a capture of a known
+// synthetic workload should prefer that workload's own profile.
+func TraceProfile(name string) Profile {
+	p := base()
+	p.Name = name
+	return p
 }
 
 func base() Profile {
@@ -198,5 +217,54 @@ func WebFrontend() Profile {
 	p.MeanBlockLen = 2.3
 	p.RequestTypes = 16
 	p.ErrorCheckFrac = 0.55
+	return p
+}
+
+// KeyValue models a memcached/redis-style in-memory store: a moderate code
+// footprint dominated by a few hot operations over a highly skewed mix,
+// very many cheap concurrent connections with short scheduling quanta, and
+// a low-CPI backend (requests barely touch memory). The interesting regime
+// is the opposite corner from OLTP: the per-request path is short, so the
+// interleaving of connections — not any single request — is what builds
+// the instruction working set.
+func KeyValue() Profile {
+	p := base()
+	p.Name = "KeyValue"
+	p.Seed = 0x6b76 // "kv"
+	p.Functions = 2600
+	p.MeanBlocksPerFn = 9
+	p.MeanBlockLen = 2.8
+	p.RequestTypes = 8 // GET/SET/DEL/INCR/... op mix
+	p.ZipfTheta = 0.8  // hot ops dominate
+	p.ErrorCheckFrac = 0.6
+	p.Concurrency = 32
+	p.QuantumInstr = 1200
+	p.LoopTripMax = 12 // short key/value copy loops
+	p.BackendCPI = 0.45
+	return p
+}
+
+// Microservices models an RPC-heavy service mesh node: deep software
+// stacks (serialization, transport, middleware layers), many distinct
+// endpoint handlers with a flat request mix, and heavy indirect dispatch
+// through interface/vtable-style call sites — the branch population that
+// stresses the ITC and BTB hardest.
+func Microservices() Profile {
+	p := base()
+	p.Name = "Microservices"
+	p.Seed = 0x757c // "usvc"
+	p.Layers = 7
+	p.Functions = 4200
+	p.MeanBlocksPerFn = 10
+	p.MeanBlockLen = 2.6
+	p.RequestTypes = 24
+	p.ZipfTheta = 0.25 // flat endpoint mix: large active code set
+	p.IndirectCallFrac = 0.12
+	p.IndirectFanout = 8
+	p.IndirectStability = 0.9
+	p.SharedMidFrac = 0.35 // shared RPC/serialization middleware
+	p.Concurrency = 24
+	p.QuantumInstr = 3000
+	p.BackendCPI = 0.68
 	return p
 }

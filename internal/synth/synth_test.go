@@ -37,7 +37,7 @@ func TestBuildAllProfiles(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size workload builds in -short mode")
 	}
-	for _, prof := range Profiles() {
+	for _, prof := range ExtendedProfiles() {
 		w, err := Build(prof)
 		if err != nil {
 			t.Fatalf("%s: %v", prof.Name, err)
@@ -53,7 +53,7 @@ func TestBuildAllProfiles(t *testing.T) {
 }
 
 func TestProfileByName(t *testing.T) {
-	for _, p := range Profiles() {
+	for _, p := range ExtendedProfiles() {
 		got, ok := ProfileByName(p.Name)
 		if !ok || got.Name != p.Name {
 			t.Errorf("ProfileByName(%q) failed", p.Name)

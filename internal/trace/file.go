@@ -16,7 +16,10 @@ import (
 
 var fileMagic = [8]byte{'C', 'F', 'L', 'T', 'R', 'C', '0', '1'}
 
-const recordBytes = 8 + 2 + 1 + 1 + 8 + 8 + 2 // Start,N,Kind,Taken,Target,Next,ReqType
+const (
+	headerBytes = len(fileMagic)
+	recordBytes = 8 + 2 + 1 + 1 + 8 + 8 + 2 // Start,N,Kind,Taken,Target,Next,ReqType
+)
 
 // Writer serializes records to a stream.
 type Writer struct {
@@ -34,20 +37,35 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw}, nil
 }
 
-// Write appends one record.
+// Write appends one record. The on-disk form is canonical: branch fields
+// (taken flag, target) are stored only for branch records, so any record a
+// Writer emits reads back bit-identical through a Reader.
 func (t *Writer) Write(rec *Record) error {
+	if !rec.Br.Kind.Valid() {
+		return fmt.Errorf("trace: cannot encode branch kind %d", uint8(rec.Br.Kind))
+	}
+	if rec.N < 1 || rec.N > 0xFFFF {
+		return fmt.Errorf("trace: record instruction count %d out of range", rec.N)
+	}
+	if rec.ReqType < 0 || rec.ReqType > 0xFFFF {
+		return fmt.Errorf("trace: record request type %d out of range", rec.ReqType)
+	}
 	b := t.buf[:]
 	binary.LittleEndian.PutUint64(b[0:], uint64(rec.Start))
 	binary.LittleEndian.PutUint16(b[8:], uint16(rec.N))
 	b[10] = byte(rec.Br.Kind)
 	b[11] = 0
-	if rec.Br.Taken {
-		b[11] = 1
+	target := isa.Addr(0)
+	if rec.Br.Kind.IsBranch() {
+		target = rec.Br.Target
+		if rec.Br.Taken {
+			b[11] = 1
+		}
 	}
 	if rec.ReqBoundary {
 		b[11] |= 2
 	}
-	binary.LittleEndian.PutUint64(b[12:], uint64(rec.Br.Target))
+	binary.LittleEndian.PutUint64(b[12:], uint64(target))
 	binary.LittleEndian.PutUint64(b[20:], uint64(rec.Next))
 	binary.LittleEndian.PutUint16(b[28:], uint16(rec.ReqType))
 	if _, err := t.w.Write(b); err != nil {
@@ -82,7 +100,17 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
+// newRawReader returns a record reader over a stream positioned at a
+// record boundary, with the header already consumed or seeked past (the
+// FileSource stripe skip).
+func newRawReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
 // Read fills rec with the next record; it returns io.EOF at end of stream.
+// Corrupted records — an out-of-range branch-kind byte, unknown flag bits,
+// a zero instruction count, or a branch-taken flag on a fall-through record
+// — are rejected rather than silently decoded into impossible Records.
 func (t *Reader) Read(rec *Record) error {
 	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -93,7 +121,16 @@ func (t *Reader) Read(rec *Record) error {
 	b := t.buf[:]
 	rec.Start = isa.Addr(binary.LittleEndian.Uint64(b[0:]))
 	rec.N = int(binary.LittleEndian.Uint16(b[8:]))
+	if rec.N == 0 {
+		return errors.New("trace: corrupt record: zero instruction count")
+	}
 	rec.Br.Kind = isa.BranchKind(b[10])
+	if !rec.Br.Kind.Valid() {
+		return fmt.Errorf("trace: corrupt record: branch kind byte %d out of range", b[10])
+	}
+	if b[11]&^3 != 0 {
+		return fmt.Errorf("trace: corrupt record: unknown flag bits %#x", b[11])
+	}
 	rec.Br.Taken = b[11]&1 != 0
 	rec.ReqBoundary = b[11]&2 != 0
 	rec.Br.Target = isa.Addr(binary.LittleEndian.Uint64(b[12:]))
@@ -102,6 +139,12 @@ func (t *Reader) Read(rec *Record) error {
 	if rec.Br.Kind.IsBranch() {
 		rec.Br.PC = rec.Start + isa.Addr((rec.N-1)*isa.InstrBytes)
 	} else {
+		if rec.Br.Taken {
+			return errors.New("trace: corrupt record: taken flag on a fall-through record")
+		}
+		if rec.Br.Target != 0 {
+			return errors.New("trace: corrupt record: branch target on a fall-through record")
+		}
 		rec.Br.PC = 0
 	}
 	return nil

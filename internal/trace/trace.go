@@ -52,10 +52,12 @@ type context struct {
 
 // Executor walks a workload's control-flow graph serving an endless stream
 // of concurrent requests, producing Records. It models one core's retire
-// stream.
+// stream. It implements Source (Next never fails and never reaches EOF;
+// Reset replays the identical stream from the construction seed).
 type Executor struct {
-	w   *synth.Workload
-	rng *rand.Rand
+	w    *synth.Workload
+	seed uint64
+	rng  *rand.Rand
 
 	ctxs    []*context
 	active  int
@@ -70,11 +72,18 @@ type Executor struct {
 
 // NewExecutor creates an executor; seed differentiates cores.
 func NewExecutor(w *synth.Workload, seed uint64) *Executor {
-	e := &Executor{
-		w:   w,
-		rng: rand.New(rand.NewPCG(seed, 0xfeed^w.Prof.Seed)),
-	}
-	n := w.Prof.Concurrency
+	e := &Executor{w: w, seed: seed}
+	e.init()
+	return e
+}
+
+// init (re)builds the execution state from the workload and seed.
+func (e *Executor) init() {
+	e.rng = rand.New(rand.NewPCG(e.seed, 0xfeed^e.w.Prof.Seed))
+	e.ctxs = e.ctxs[:0]
+	e.active = 0
+	e.Instructions, e.Requests, e.Switches = 0, 0, 0
+	n := e.w.Prof.Concurrency
 	if n < 1 {
 		n = 1
 	}
@@ -85,7 +94,12 @@ func NewExecutor(w *synth.Workload, seed uint64) *Executor {
 	}
 	e.newRq = true
 	e.quantum = e.drawQuantum()
-	return e
+}
+
+// Reset implements Source: the executor restarts its deterministic walk.
+func (e *Executor) Reset() error {
+	e.init()
+	return nil
 }
 
 func (e *Executor) startRequest(c *context) {
@@ -116,7 +130,9 @@ func (e *Executor) yield() {
 }
 
 // Next fills rec with the next executed basic block and advances the walk.
-func (e *Executor) Next(rec *Record) {
+// It implements Source; the returned error is always nil (the synthetic
+// walk cannot fail and never ends).
+func (e *Executor) Next(rec *Record) error {
 	c := e.ctxs[e.active]
 	cur := c.cur
 	rec.Start = cur.Addr
@@ -132,7 +148,7 @@ func (e *Executor) Next(rec *Record) {
 		rec.Br = BranchInfo{Kind: isa.BrNone}
 		c.cur = cur.Fall
 		rec.Next = c.cur.Addr
-		return
+		return nil
 	}
 	info := BranchInfo{PC: br.PC, Kind: br.Kind, Target: br.Target}
 	var next *program.BasicBlock
@@ -193,6 +209,7 @@ func (e *Executor) Next(rec *Record) {
 			e.newRq = true
 		}
 	}
+	return nil
 }
 
 // condOutcome resolves a conditional branch. Loop-controlling sites run a

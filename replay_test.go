@@ -1,0 +1,128 @@
+package confluence
+
+import (
+	"testing"
+
+	"confluence/internal/synth"
+)
+
+// replayWorkload builds a reduced workload for capture/replay tests: big
+// enough to exercise every frontend mechanism, small enough to capture in
+// a test.
+func replayWorkload(t *testing.T) *Workload {
+	t.Helper()
+	p := synth.OLTPDB2()
+	p.Functions = 480
+	p.RequestTypes = 5
+	p.Concurrency = 6
+	p.Seed = 0x5eed5
+	w, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestReplayEquivalence is the acceptance property of the trace-replay
+// path: a capture replayed through the timing model produces bit-identical
+// Stats to the live executors that generated it, across multiple designs
+// and CMP widths. Any divergence — a lossy codec field, a seed mismatch,
+// an off-by-one in the striping — shows up as a differing counter.
+func TestReplayEquivalence(t *testing.T) {
+	w := replayWorkload(t)
+
+	const (
+		warmup   = 30_000
+		measure  = 60_000
+		capCores = 3
+		// Capture enough instructions per core that the replay never wraps:
+		// a run consumes warmup+measure plus at most one basic block.
+		capInstr = warmup + measure + 5_000
+	)
+	dir := t.TempDir()
+	if err := CaptureTrace(w, dir, capCores, capInstr); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, design := range []DesignPoint{FDP1K, Confluence} {
+		for _, cores := range []int{2, 3} {
+			cfg := Config{
+				Workload: w, Design: design, Cores: cores,
+				WarmupInstr: warmup, MeasureInstr: measure,
+			}
+			live, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%d cores live: %v", design, cores, err)
+			}
+			cfg.TraceDir = dir
+			replayed, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%d cores replay: %v", design, cores, err)
+			}
+			if *live.Stats != *replayed.Stats {
+				t.Errorf("%v/%d cores: replayed stats diverged from live\n live:   %+v\n replay: %+v",
+					design, cores, *live.Stats, *replayed.Stats)
+			}
+		}
+	}
+}
+
+// TestWorkloadFromTrace covers the external-capture path: no program
+// image, default calibration, but a running simulation with plausible
+// stats.
+func TestWorkloadFromTrace(t *testing.T) {
+	w := replayWorkload(t)
+	dir := t.TempDir()
+	if err := CaptureTrace(w, dir, 2, 80_000); err != nil {
+		t.Fatal(err)
+	}
+	tw, err := WorkloadFromTrace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Prog != nil {
+		t.Error("trace workload carries a program image")
+	}
+	res, err := Run(Config{
+		Workload: tw, Design: Base1K, Cores: 2,
+		WarmupInstr: 10_000, MeasureInstr: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.IPC() <= 0 || res.Stats.IPC() > 3 {
+		t.Errorf("replayed IPC = %v", res.Stats.IPC())
+	}
+
+	// A workload built by WorkloadFromTrace replays its own capture without
+	// Config.TraceDir being set.
+	res2, err := Run(Config{
+		Workload: tw, Design: Base1K, Cores: 2,
+		WarmupInstr: 10_000, MeasureInstr: 30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Stats != *res2.Stats {
+		t.Error("repeated replay of the same capture diverged")
+	}
+
+	if _, err := WorkloadFromTrace(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+// TestCaptureTraceValidation pins the capture API's error paths.
+func TestCaptureTraceValidation(t *testing.T) {
+	w := replayWorkload(t)
+	if err := CaptureTrace(nil, t.TempDir(), 1, 1000); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if err := CaptureTrace(w, t.TempDir(), 0, 1000); err == nil {
+		t.Error("zero cores accepted")
+	}
+	tw := &Workload{Prof: synth.TraceProfile("x"), TraceDir: t.TempDir()}
+	if err := CaptureTrace(tw, t.TempDir(), 1, 1000); err == nil {
+		t.Error("programless workload accepted for capture")
+	}
+}
