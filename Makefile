@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench fmt vet cover fuzz ci
+.PHONY: all build test race bench bench-json fmt vet cover fuzz ci
 
 all: build test
 
@@ -29,6 +29,16 @@ race:
 
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+# bench-json records a machine-readable benchmark snapshot (BENCH_OUT) for
+# committing perf trajectories alongside PRs; see BENCH_pr3_*.json. The
+# test run and the JSON conversion are separate commands so a failing
+# benchmark fails the target instead of hiding behind the pipe.
+BENCH_OUT ?= bench.json
+bench-json:
+	go test -run '^$$' -bench=. -benchtime=1x -benchmem ./... > $(BENCH_OUT).txt
+	go run ./cmd/benchjson < $(BENCH_OUT).txt > $(BENCH_OUT)
+	@rm -f $(BENCH_OUT).txt
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

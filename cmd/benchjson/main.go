@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output on stdin into a stable
+// JSON document on stdout, so benchmark runs can be committed and diffed
+// across PRs (BENCH_pr3_before.json / BENCH_pr3_after.json and successors).
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchtime=1x -benchmem ./... | benchjson > bench.json
+//
+// Every benchmark line becomes one record carrying the iteration count and
+// all reported metrics (ns/op, B/op, allocs/op, and any custom b.ReportMetric
+// units such as Minstr/s). Non-benchmark lines are ignored, so the tool
+// tolerates -v logs and table dumps interleaved with results.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the document benchjson emits.
+type Output struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := Output{}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				r.Pkg = pkg
+				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes "BenchmarkName-8  10  123 ns/op  4 B/op  1 allocs/op  9.9 unit".
+func parseBench(line string) (Record, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	// Strip the trailing -GOMAXPROCS suffix so snapshots from machines with
+	// different core counts stay diffable by name.
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}

@@ -13,15 +13,16 @@ package airbtb
 
 import (
 	"confluence/internal/btb"
+	"confluence/internal/flatmap"
 	"confluence/internal/isa"
 	"confluence/internal/trace"
 )
 
 // Entry is one branch record inside a bundle.
 type Entry struct {
+	Target isa.Addr
 	Offset uint8 // instruction slot within the block
 	Kind   isa.BranchKind
-	Target isa.Addr
 }
 
 // Bundle holds the BTB state of one instruction block.
@@ -58,9 +59,15 @@ func (c Config) StorageBits() int {
 
 // AirBTB is one core's instance. Its content is maintained exclusively via
 // BlockFilled/BlockEvicted, which Confluence drives from L1-I fills.
+//
+// Bundles live inline in an open-addressed table keyed by block address,
+// sized once to the configured bundle count (L1-I synchronization bounds
+// residency at cfg.Bundles): fills store a bundle by value and evictions
+// use backward-shift deletion, so no per-fill allocation and no Go-map
+// hashing on the lookup path.
 type AirBTB struct {
 	cfg      Config
-	bundles  map[isa.Addr]*Bundle
+	bundles  *flatmap.Map[Bundle]
 	overflow *overflowBuffer
 
 	// Stats.
@@ -76,7 +83,7 @@ func New(cfg Config) *AirBTB {
 	}
 	return &AirBTB{
 		cfg:      cfg,
-		bundles:  make(map[isa.Addr]*Bundle, cfg.Bundles),
+		bundles:  flatmap.New[Bundle](cfg.Bundles),
 		overflow: newOverflowBuffer(cfg.OverflowEntries),
 	}
 }
@@ -88,13 +95,12 @@ func (a *AirBTB) Name() string { return "AirBTB" }
 func (a *AirBTB) Config() Config { return a.cfg }
 
 // Resident returns the number of bundles currently installed.
-func (a *AirBTB) Resident() int { return len(a.bundles) }
+func (a *AirBTB) Resident() int { return a.bundles.Len() }
 
 // HasBundle reports whether a bundle exists for the given block address
 // (used by the L1-I/AirBTB synchronization invariant checks).
 func (a *AirBTB) HasBundle(block isa.Addr) bool {
-	_, ok := a.bundles[block]
-	return ok
+	return a.bundles.Contains(uint64(block))
 }
 
 // Lookup implements the frontend BTB interface: the prediction for the
@@ -104,8 +110,8 @@ func (a *AirBTB) HasBundle(block isa.Addr) bool {
 // case the BPU falls back to a speculative sequential fetch region (§3.3).
 func (a *AirBTB) Lookup(now float64, bb, brPC isa.Addr) btb.Result {
 	block := isa.BlockOf(brPC)
-	b, ok := a.bundles[block]
-	if !ok {
+	b := a.bundles.Ptr(uint64(block))
+	if b == nil {
 		return btb.Result{}
 	}
 	off := uint8(isa.BlockIndex(brPC))
@@ -139,8 +145,8 @@ func (a *AirBTB) Resolve(now float64, bb isa.Addr, nInstr int, br trace.BranchIn
 		return
 	}
 	block := isa.BlockOf(br.PC)
-	b, ok := a.bundles[block]
-	if !ok {
+	b := a.bundles.Ptr(uint64(block))
+	if b == nil {
 		return
 	}
 	off := uint8(isa.BlockIndex(br.PC))
@@ -164,12 +170,12 @@ func (a *AirBTB) Resolve(now float64, bb isa.Addr, nInstr int, br trace.BranchIn
 // EntriesPerBundle into the bundle, the rest into the overflow buffer
 // (§3.2).
 func (a *AirBTB) BlockFilled(now float64, block isa.Addr, branches []isa.PredecodedBranch, demand bool) {
-	if old, ok := a.bundles[block]; ok {
+	if old := a.bundles.Ptr(uint64(block)); old != nil {
 		// Refill of a resident block (shouldn't happen under strict sync);
 		// drop the old state first.
 		a.dropOverflowed(block, old)
 	}
-	b := &Bundle{}
+	var b Bundle
 	for _, pb := range branches {
 		b.Bitmap |= 1 << pb.Offset
 		e := Entry{Offset: pb.Offset, Kind: pb.Kind, Target: pb.Target}
@@ -181,57 +187,71 @@ func (a *AirBTB) BlockFilled(now float64, block isa.Addr, branches []isa.Predeco
 			a.OverflowInserts++
 		}
 	}
-	a.bundles[block] = b
+	a.bundles.Put(uint64(block), b)
 	a.Fills++
 }
 
 // BlockEvicted implements the frontend BTB interface: the bundle leaves
 // with its block, taking its overflowed entries along.
 func (a *AirBTB) BlockEvicted(block isa.Addr) {
-	b, ok := a.bundles[block]
-	if !ok {
+	b := a.bundles.Ptr(uint64(block))
+	if b == nil {
 		return
 	}
 	a.dropOverflowed(block, b)
-	delete(a.bundles, block)
+	a.bundles.Delete(uint64(block))
 	a.Evictions++
 }
 
 func (a *AirBTB) dropOverflowed(block isa.Addr, b *Bundle) {
 	// Entries beyond the bundle's capacity live in the overflow buffer;
-	// walk the bitmap slots not present in the bundle.
+	// drop the bitmap slots not present in the bundle in one buffer sweep
+	// (one scan for the whole block instead of one per overflowed branch).
 	inBundle := uint16(0)
 	for i := uint8(0); i < b.N; i++ {
 		inBundle |= 1 << b.Entries[i].Offset
 	}
-	over := b.Bitmap &^ inBundle
-	for off := 0; off < isa.InstrPerBlock; off++ {
-		if over&(1<<off) != 0 {
-			a.overflow.remove(block + isa.Addr(off*isa.InstrBytes))
-		}
+	if over := b.Bitmap &^ inBundle; over != 0 {
+		a.overflow.removeBlock(block, over)
 	}
 }
 
 // overflowBuffer is the small fully-associative LRU buffer backing bundles.
+// Entries are unordered; recency is a strictly increasing use-stamp and the
+// victim is the minimum stamp — identical LRU semantics to an ordered list,
+// with no memmove on the per-fill insert path (the ordered variant shifted
+// the whole buffer on every insert, which profiling showed as the hottest
+// AirBTB cost). The policy deliberately mirrors cache.Victim's stamp LRU;
+// it stays a private copy because its extra verbs (removeBlock's
+// block/bitmap sweep, updateTarget) are ISA-aware and don't belong on the
+// generic buffer — keep the two recency schemes in lockstep.
 type overflowBuffer struct {
-	cap  int
-	pcs  []isa.Addr
-	ents []Entry
+	cap   int
+	pcs   []isa.Addr
+	ents  []Entry
+	stamp []uint64
+	clock uint64
 }
 
 func newOverflowBuffer(capacity int) *overflowBuffer {
-	return &overflowBuffer{cap: capacity}
+	return &overflowBuffer{
+		cap:   capacity,
+		pcs:   make([]isa.Addr, 0, capacity),
+		ents:  make([]Entry, 0, capacity),
+		stamp: make([]uint64, 0, capacity),
+	}
+}
+
+func (o *overflowBuffer) tick() uint64 {
+	o.clock++
+	return o.clock
 }
 
 func (o *overflowBuffer) lookup(pc isa.Addr) (Entry, bool) {
 	for i, p := range o.pcs {
 		if p == pc {
-			e := o.ents[i]
-			// Move to MRU.
-			copy(o.pcs[1:i+1], o.pcs[:i])
-			copy(o.ents[1:i+1], o.ents[:i])
-			o.pcs[0], o.ents[0] = pc, e
-			return e, true
+			o.stamp[i] = o.tick() // refresh recency
+			return o.ents[i], true
 		}
 	}
 	return Entry{}, false
@@ -241,14 +261,25 @@ func (o *overflowBuffer) insert(pc isa.Addr, e Entry) {
 	if o.cap == 0 {
 		return
 	}
-	o.remove(pc)
-	if len(o.pcs) < o.cap {
-		o.pcs = append(o.pcs, 0)
-		o.ents = append(o.ents, Entry{})
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i, p := range o.pcs {
+		if p == pc { // present: overwrite and refresh
+			o.ents[i] = e
+			o.stamp[i] = o.tick()
+			return
+		}
+		if o.stamp[i] < oldest {
+			oldest, victim = o.stamp[i], i
+		}
 	}
-	copy(o.pcs[1:], o.pcs)
-	copy(o.ents[1:], o.ents)
-	o.pcs[0], o.ents[0] = pc, e
+	if len(o.pcs) < o.cap {
+		o.pcs = append(o.pcs, pc)
+		o.ents = append(o.ents, e)
+		o.stamp = append(o.stamp, o.tick())
+		return
+	}
+	o.pcs[victim], o.ents[victim], o.stamp[victim] = pc, e, o.tick()
 }
 
 func (o *overflowBuffer) updateTarget(pc isa.Addr, target isa.Addr) {
@@ -263,11 +294,32 @@ func (o *overflowBuffer) updateTarget(pc isa.Addr, target isa.Addr) {
 func (o *overflowBuffer) remove(pc isa.Addr) {
 	for i, p := range o.pcs {
 		if p == pc {
-			o.pcs = append(o.pcs[:i], o.pcs[i+1:]...)
-			o.ents = append(o.ents[:i], o.ents[i+1:]...)
+			o.removeAt(i)
 			return
 		}
 	}
+}
+
+// removeBlock drops every entry whose PC lies in the given 64B block at an
+// instruction slot marked in over — the per-block form of remove used by
+// bundle eviction (one scan instead of one per overflowed branch).
+func (o *overflowBuffer) removeBlock(block isa.Addr, over uint16) {
+	for i := 0; i < len(o.pcs); {
+		pc := o.pcs[i]
+		if isa.BlockOf(pc) == block && over&(1<<isa.BlockIndex(pc)) != 0 {
+			o.removeAt(i)
+			continue // the swapped-in entry occupies slot i now
+		}
+		i++
+	}
+}
+
+func (o *overflowBuffer) removeAt(i int) {
+	last := len(o.pcs) - 1
+	o.pcs[i], o.ents[i], o.stamp[i] = o.pcs[last], o.ents[last], o.stamp[last]
+	o.pcs = o.pcs[:last]
+	o.ents = o.ents[:last]
+	o.stamp = o.stamp[:last]
 }
 
 func (o *overflowBuffer) len() int { return len(o.pcs) }

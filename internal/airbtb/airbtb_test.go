@@ -190,7 +190,7 @@ func TestFigure5WorkedExample(t *testing.T) {
 	}
 	// Bundle bitmap for Q marks offsets 1, 4, 7.
 	// (Internal check: the bitmap drives the fetch-region scan.)
-	if bm := a.bundles[Q].Bitmap; bm != (1<<1 | 1<<4 | 1<<7) {
+	if bm := a.bundles.Ptr(uint64(Q)).Bitmap; bm != (1<<1 | 1<<4 | 1<<7) {
 		t.Errorf("Q bitmap = %016b", bm)
 	}
 }

@@ -38,7 +38,9 @@ func (s DirStats) Accuracy() float64 {
 	return 1 - float64(s.Mispredicts)/float64(s.Lookups)
 }
 
-// Bimodal is a PC-indexed table of 2-bit counters.
+// Bimodal is a PC-indexed table of 2-bit counters. It is the standalone
+// reference form of the component; Hybrid keeps its bimodal counters packed
+// next to the meta selector (bimMeta) so one table touch serves both.
 type Bimodal struct {
 	table []counter2
 	mask  uint64
@@ -103,12 +105,37 @@ func (g *GShare) Update(pc isa.Addr, taken bool) {
 	g.hist &= (1 << g.histBits) - 1
 }
 
+// PredictUpdate predicts under the current history, then trains the table
+// and shifts the outcome in — one index computation and one table touch for
+// the hybrid's every-conditional path (identical behavior to
+// Predict-then-Update).
+func (g *GShare) PredictUpdate(pc isa.Addr, taken bool) (predicted bool) {
+	i := g.index(pc)
+	e := g.table[i]
+	predicted = e.taken()
+	g.table[i] = e.update(taken)
+	g.hist <<= 1
+	if taken {
+		g.hist |= 1
+	}
+	g.hist &= (1 << g.histBits) - 1
+	return predicted
+}
+
+// bimMeta packs the bimodal and meta-selector counters for one PC index
+// into adjacent bytes: both tables are indexed by (pc>>2)&mask, so packing
+// them turns two random table touches per conditional branch into one.
+type bimMeta struct {
+	bim, meta counter2
+}
+
 // Hybrid combines bimodal and gshare with a meta selector, the paper's
-// "16K-entry gShare, Bimodal, Meta selector" configuration.
+// "16K-entry gShare, Bimodal, Meta selector" configuration. The bimodal
+// and meta counters live packed in one table (bimMeta) rather than as an
+// embedded Bimodal — same predictions, half the table touches.
 type Hybrid struct {
-	bim   *Bimodal
+	bm    []bimMeta // packed bimodal + meta (>=2 selects gshare)
 	gsh   *GShare
-	meta  []counter2 // >=2 selects gshare
 	mask  uint64
 	stats DirStats
 }
@@ -116,33 +143,34 @@ type Hybrid struct {
 // NewHybrid creates the hybrid predictor; entries sizes each component.
 func NewHybrid(entries int) *Hybrid {
 	checkPow2("bpu: hybrid", entries)
-	meta := make([]counter2, entries)
-	for i := range meta {
-		meta[i] = 2 // weakly prefer gshare
+	bm := make([]bimMeta, entries)
+	for i := range bm {
+		bm[i] = bimMeta{bim: 1, meta: 2} // weakly not-taken, weakly prefer gshare
 	}
 	return &Hybrid{
-		bim:  NewBimodal(entries),
+		bm:   bm,
 		gsh:  NewGShare(entries, 14),
-		meta: meta,
 		mask: uint64(entries - 1),
 	}
 }
 
 // Predict returns the selected component's direction prediction.
 func (h *Hybrid) Predict(pc isa.Addr) bool {
-	if h.meta[(uint64(pc)>>2)&h.mask].taken() {
+	e := h.bm[(uint64(pc)>>2)&h.mask]
+	if e.meta.taken() {
 		return h.gsh.Predict(pc)
 	}
-	return h.bim.Predict(pc)
+	return e.bim.taken()
 }
 
 // PredictAndUpdate predicts, trains all tables with the outcome, and
 // reports whether the prediction was correct.
 func (h *Hybrid) PredictAndUpdate(pc isa.Addr, taken bool) (predicted, correct bool) {
-	bp := h.bim.Predict(pc)
-	gp := h.gsh.Predict(pc)
 	mi := (uint64(pc) >> 2) & h.mask
-	useG := h.meta[mi].taken()
+	e := &h.bm[mi]
+	bp := e.bim.taken()
+	gp := h.gsh.PredictUpdate(pc, taken)
+	useG := e.meta.taken()
 	predicted = bp
 	if useG {
 		predicted = gp
@@ -150,10 +178,9 @@ func (h *Hybrid) PredictAndUpdate(pc isa.Addr, taken bool) (predicted, correct b
 	correct = predicted == taken
 	// Meta trains toward the component that was right when they disagree.
 	if bp != gp {
-		h.meta[mi] = h.meta[mi].update(gp == taken)
+		e.meta = e.meta.update(gp == taken)
 	}
-	h.bim.Update(pc, taken)
-	h.gsh.Update(pc, taken)
+	e.bim = e.bim.update(taken)
 	h.stats.Lookups++
 	if !correct {
 		h.stats.Mispredicts++

@@ -64,8 +64,8 @@ type Conventional struct {
 	name   string
 	mode   TagMode
 	main   *cache.Assoc[Entry]
-	victim *cache.Victim // nil when absent
-	eager  bool          // install all predecoded branches on block fill
+	victim *cache.Victim[Entry] // nil when absent
+	eager  bool                 // install all predecoded branches on block fill
 }
 
 // NewConventional builds a BTB with sets (power of two) × ways entries and
@@ -76,7 +76,7 @@ func NewConventional(name string, sets, ways, victimEntries int) *Conventional {
 		main: cache.NewAssoc[Entry](sets, ways),
 	}
 	if victimEntries > 0 {
-		c.victim = cache.NewVictim(victimEntries)
+		c.victim = cache.NewVictim[Entry](victimEntries)
 	}
 	return c
 }
@@ -111,8 +111,7 @@ func (c *Conventional) Lookup(now float64, bb, brPC isa.Addr) Result {
 		return Result{Hit: true, Entry: e}
 	}
 	if c.victim != nil {
-		if v, ok := c.victim.Take(k); ok {
-			e := v.(Entry)
+		if e, ok := c.victim.Take(k); ok {
 			c.insert(k, e) // promote
 			return Result{Hit: true, Entry: e}
 		}

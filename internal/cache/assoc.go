@@ -5,12 +5,29 @@ import "fmt"
 // Assoc is a set-associative, true-LRU key/value store. It backs every
 // tagged predictor structure in the simulator (BTB levels, PhantomBTB's
 // virtualized group store) the way Cache backs plain presence tracking.
+//
+// Like Cache, the valid ways of a set are a contiguous prefix tracked by a
+// per-set counter, and recency is a strictly increasing use-stamp: the LRU
+// victim is the minimum stamp, identical in policy to an ordered list but
+// with no key/value shifting on a touch — which matters here, where values
+// (BTB entries, Phantom temporal groups) can be tens of bytes each.
 type Assoc[V any] struct {
 	sets, ways int
 	keys       []uint64
 	vals       []V
-	valid      []bool
-	stats      Stats
+	stamp      []uint64
+	occ        []uint16 // valid ways per set (prefix [0, occ))
+	clock      uint64
+	n          int
+
+	// mru/mruOK cache the most recent hit's key and way (see Cache.mru):
+	// while valid, that key holds the cache-wide maximum stamp, so a
+	// repeated lookup reads the value back without a scan or a re-stamp.
+	mru    uint64
+	mruWay int
+	mruOK  bool
+
+	stats Stats
 }
 
 // NewAssoc creates a store with sets (power of two) and ways.
@@ -18,15 +35,16 @@ func NewAssoc[V any](sets, ways int) *Assoc[V] {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: assoc sets must be a positive power of two, got %d", sets))
 	}
-	if ways <= 0 {
-		panic("cache: assoc ways must be positive")
+	if ways <= 0 || ways > 1<<16-1 {
+		panic("cache: assoc ways out of range")
 	}
 	return &Assoc[V]{
 		sets:  sets,
 		ways:  ways,
 		keys:  make([]uint64, sets*ways),
 		vals:  make([]V, sets*ways),
-		valid: make([]bool, sets*ways),
+		stamp: make([]uint64, sets*ways),
+		occ:   make([]uint16, sets),
 	}
 }
 
@@ -41,15 +59,26 @@ func (a *Assoc[V]) ResetStats()  { a.stats.Reset() }
 
 func (a *Assoc[V]) set(key uint64) int { return int(key) & (a.sets - 1) }
 
+func (a *Assoc[V]) tick() uint64 {
+	a.clock++
+	return a.clock
+}
+
 // Lookup probes for key, refreshing LRU on hit.
 func (a *Assoc[V]) Lookup(key uint64) (V, bool) {
-	base := a.set(key) * a.ways
-	for i := 0; i < a.ways; i++ {
-		if a.valid[base+i] && a.keys[base+i] == key {
-			v := a.vals[base+i]
-			a.touch(base, i)
+	if a.mruOK && key == a.mru {
+		a.stats.Hits++
+		return a.vals[a.mruWay], true
+	}
+	s := a.set(key)
+	base := s * a.ways
+	n := int(a.occ[s])
+	for i := 0; i < n; i++ {
+		if a.keys[base+i] == key {
+			a.stamp[base+i] = a.tick()
+			a.mru, a.mruWay, a.mruOK = key, base+i, true
 			a.stats.Hits++
-			return v, true
+			return a.vals[base+i], true
 		}
 	}
 	var zero V
@@ -59,65 +88,67 @@ func (a *Assoc[V]) Lookup(key uint64) (V, bool) {
 
 // Contains probes without LRU or counter updates.
 func (a *Assoc[V]) Contains(key uint64) bool {
-	base := a.set(key) * a.ways
-	for i := 0; i < a.ways; i++ {
-		if a.valid[base+i] && a.keys[base+i] == key {
+	s := a.set(key)
+	base := s * a.ways
+	n := int(a.occ[s])
+	for i := 0; i < n; i++ {
+		if a.keys[base+i] == key {
 			return true
 		}
 	}
 	return false
 }
 
-func (a *Assoc[V]) touch(base, i int) {
-	if i == 0 {
-		return
-	}
-	k, v := a.keys[base+i], a.vals[base+i]
-	copy(a.keys[base+1:base+i+1], a.keys[base:base+i])
-	copy(a.vals[base+1:base+i+1], a.vals[base:base+i])
-	a.keys[base], a.vals[base] = k, v
-}
-
 // Insert puts (key, val) at MRU, overwriting a present key in place, and
-// returns any displaced entry.
+// returns any displaced entry. Presence and the LRU victim are resolved in
+// one scan over the set's valid prefix.
 func (a *Assoc[V]) Insert(key uint64, val V) (evKey uint64, evVal V, evicted bool) {
-	base := a.set(key) * a.ways
-	for i := 0; i < a.ways; i++ {
-		if a.valid[base+i] && a.keys[base+i] == key {
+	s := a.set(key)
+	base := s * a.ways
+	n := int(a.occ[s])
+	victim, oldest := 0, ^uint64(0)
+	for i := 0; i < n; i++ {
+		if a.keys[base+i] == key {
 			a.vals[base+i] = val
-			a.touch(base, i)
+			a.stamp[base+i] = a.tick()
+			a.mru, a.mruWay, a.mruOK = key, base+i, true
 			return 0, evVal, false
+		}
+		if a.stamp[base+i] < oldest {
+			oldest, victim = a.stamp[base+i], i
 		}
 	}
 	a.stats.Insertions++
-	victim := -1
-	for i := 0; i < a.ways; i++ {
-		if !a.valid[base+i] {
-			victim = i
-			break
-		}
-	}
-	if victim == -1 {
-		victim = a.ways - 1
+	a.mruOK = false
+	if n < a.ways {
+		victim = n
+		a.occ[s]++
+		a.n++
+	} else {
 		evKey, evVal, evicted = a.keys[base+victim], a.vals[base+victim], true
 		a.stats.Evictions++
 	}
-	copy(a.keys[base+1:base+victim+1], a.keys[base:base+victim])
-	copy(a.vals[base+1:base+victim+1], a.vals[base:base+victim])
-	copy(a.valid[base+1:base+victim+1], a.valid[base:base+victim])
-	a.keys[base], a.vals[base], a.valid[base] = key, val, true
+	a.keys[base+victim], a.vals[base+victim] = key, val
+	a.stamp[base+victim] = a.tick()
 	return evKey, evVal, evicted
 }
 
-// Invalidate removes key, reporting whether it was present.
+// Invalidate removes key, reporting whether it was present; the last valid
+// way swaps into the hole, keeping the prefix contiguous.
 func (a *Assoc[V]) Invalidate(key uint64) bool {
-	base := a.set(key) * a.ways
-	for i := 0; i < a.ways; i++ {
-		if a.valid[base+i] && a.keys[base+i] == key {
-			copy(a.keys[base+i:base+a.ways-1], a.keys[base+i+1:base+a.ways])
-			copy(a.vals[base+i:base+a.ways-1], a.vals[base+i+1:base+a.ways])
-			copy(a.valid[base+i:base+a.ways-1], a.valid[base+i+1:base+a.ways])
-			a.valid[base+a.ways-1] = false
+	s := a.set(key)
+	base := s * a.ways
+	n := int(a.occ[s])
+	for i := 0; i < n; i++ {
+		if a.keys[base+i] == key {
+			a.keys[base+i] = a.keys[base+n-1]
+			a.vals[base+i] = a.vals[base+n-1]
+			a.stamp[base+i] = a.stamp[base+n-1]
+			var zero V
+			a.vals[base+n-1] = zero // drop references held by the stale copy
+			a.occ[s]--
+			a.n--
+			a.mruOK = false
 			return true
 		}
 	}
@@ -125,12 +156,4 @@ func (a *Assoc[V]) Invalidate(key uint64) bool {
 }
 
 // Len returns the number of valid entries.
-func (a *Assoc[V]) Len() int {
-	n := 0
-	for _, v := range a.valid {
-		if v {
-			n++
-		}
-	}
-	return n
-}
+func (a *Assoc[V]) Len() int { return a.n }

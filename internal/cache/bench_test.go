@@ -40,3 +40,39 @@ func BenchmarkAssocLookup(b *testing.B) {
 		a.Lookup(uint64(i) & 1023)
 	}
 }
+
+// BenchmarkCacheLookupInsert measures the combined demand-access pattern of
+// the L1-I: a lookup followed, on miss, by a fill — the single-pass
+// presence+victim scan this PR introduced.
+func BenchmarkCacheLookupInsert(b *testing.B) {
+	c := New(128, 4) // L1-I geometry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i) % 2048 // 4x the capacity: a steady mix of hits and fills
+		if !c.Lookup(key) {
+			c.Insert(key)
+		}
+	}
+}
+
+// BenchmarkInFlight_AddReadyRemove measures the in-flight fill table's
+// per-prefetch lifecycle: register a fill, probe it (the demand-access
+// check), and retire it.
+func BenchmarkInFlight_AddReadyRemove(b *testing.B) {
+	f := NewInFlight()
+	// Keep a realistic standing population (a SHIFT lookahead's worth).
+	for i := uint64(0); i < 20; i++ {
+		f.Add(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i) + 100
+		f.Add(key, float64(i))
+		if _, ok := f.Ready(key); !ok {
+			b.Fatal("lost in-flight fill")
+		}
+		f.Remove(key)
+	}
+}

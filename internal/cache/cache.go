@@ -24,11 +24,32 @@ func (s *Stats) Reset() { *s = Stats{} }
 
 // Cache is a set-associative tag store with true-LRU replacement, keyed by
 // opaque uint64 keys (block addresses or BTB tags).
+//
+// Layout: the valid ways of a set are a contiguous prefix [0, occ) — new
+// keys are appended and evictions replace in place — and recency is a
+// strictly increasing per-cache use-stamp. The victim of a full set is the
+// minimum stamp, which is exactly the least-recently-used way (stamps are
+// unique), so the policy is identical to an ordered-LRU list while a touch
+// is a single store instead of shifting the set. Presence and the victim
+// way are resolved in one scan on Insert.
 type Cache struct {
 	sets  int
 	ways  int
-	keys  []uint64 // sets*ways, LRU-ordered within a set: index 0 = MRU
-	valid []bool
+	keys  []uint64 // sets*ways; valid ways are the prefix [0, occ) of a set
+	stamp []uint64 // use-stamps, parallel to keys
+	occ   []uint16 // valid ways per set
+	clock uint64
+	n     int // total valid entries
+
+	// mru/mruOK cache the key of the most recent Lookup hit. While mruOK
+	// holds, that key carries the cache-wide maximum stamp (no other hit or
+	// insert has happened since), so a repeated Lookup can skip both the
+	// scan and the re-stamp — re-stamping the freshest entry is a no-op for
+	// the LRU order. Inserts and invalidations clear it; hits on other
+	// keys retarget it.
+	mru   uint64
+	mruOK bool
+
 	stats Stats
 }
 
@@ -37,14 +58,15 @@ func New(sets, ways int) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: sets must be a positive power of two, got %d", sets))
 	}
-	if ways <= 0 {
-		panic("cache: ways must be positive")
+	if ways <= 0 || ways > 1<<16-1 {
+		panic("cache: ways out of range")
 	}
 	return &Cache{
 		sets:  sets,
 		ways:  ways,
 		keys:  make([]uint64, sets*ways),
-		valid: make([]bool, sets*ways),
+		stamp: make([]uint64, sets*ways),
+		occ:   make([]uint16, sets),
 	}
 }
 
@@ -65,12 +87,24 @@ func (c *Cache) ResetStats()  { c.stats.Reset() }
 
 func (c *Cache) set(key uint64) int { return int(key) & (c.sets - 1) }
 
+func (c *Cache) tick() uint64 {
+	c.clock++
+	return c.clock
+}
+
 // Lookup probes for key, updating LRU and counters on the access.
 func (c *Cache) Lookup(key uint64) bool {
-	base := c.set(key) * c.ways
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.keys[base+i] == key {
-			c.touch(base, i)
+	if c.mruOK && key == c.mru {
+		c.stats.Hits++
+		return true
+	}
+	s := c.set(key)
+	base := s * c.ways
+	n := int(c.occ[s])
+	for i := 0; i < n; i++ {
+		if c.keys[base+i] == key {
+			c.stamp[base+i] = c.tick()
+			c.mru, c.mruOK = key, true
 			c.stats.Hits++
 			return true
 		}
@@ -81,67 +115,64 @@ func (c *Cache) Lookup(key uint64) bool {
 
 // Contains probes without updating LRU or counters.
 func (c *Cache) Contains(key uint64) bool {
-	base := c.set(key) * c.ways
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.keys[base+i] == key {
+	s := c.set(key)
+	base := s * c.ways
+	n := int(c.occ[s])
+	for i := 0; i < n; i++ {
+		if c.keys[base+i] == key {
 			return true
 		}
 	}
 	return false
 }
 
-// touch moves way i of the set at base to MRU position.
-func (c *Cache) touch(base, i int) {
-	if i == 0 {
-		return
-	}
-	k := c.keys[base+i]
-	copy(c.keys[base+1:base+i+1], c.keys[base:base+i])
-	c.keys[base] = k
-	// valid[0..i] are all true when touching a hit way.
-}
-
 // Insert places key at MRU, returning the evicted key if a valid entry was
-// displaced. Inserting a present key refreshes its LRU position.
+// displaced. Inserting a present key refreshes its LRU position. Presence
+// and the LRU victim are resolved in one scan over the set's valid prefix.
 func (c *Cache) Insert(key uint64) (evicted uint64, wasEvicted bool) {
-	base := c.set(key) * c.ways
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.keys[base+i] == key {
-			c.touch(base, i)
+	s := c.set(key)
+	base := s * c.ways
+	n := int(c.occ[s])
+	victim, oldest := 0, ^uint64(0)
+	for i := 0; i < n; i++ {
+		if c.keys[base+i] == key {
+			c.stamp[base+i] = c.tick()
+			c.mru, c.mruOK = key, true
 			return 0, false
+		}
+		if c.stamp[base+i] < oldest {
+			oldest, victim = c.stamp[base+i], i
 		}
 	}
 	c.stats.Insertions++
-	// Use an invalid way if any.
-	victimIdx := -1
-	for i := 0; i < c.ways; i++ {
-		if !c.valid[base+i] {
-			victimIdx = i
-			break
-		}
-	}
-	if victimIdx == -1 {
-		victimIdx = c.ways - 1
-		evicted = c.keys[base+victimIdx]
+	c.mruOK = false
+	if n < c.ways {
+		victim = n
+		c.occ[s]++
+		c.n++
+	} else {
+		evicted = c.keys[base+victim]
 		wasEvicted = true
 		c.stats.Evictions++
 	}
-	// Shift down to make room at MRU.
-	copy(c.keys[base+1:base+victimIdx+1], c.keys[base:base+victimIdx])
-	copy(c.valid[base+1:base+victimIdx+1], c.valid[base:base+victimIdx])
-	c.keys[base] = key
-	c.valid[base] = true
+	c.keys[base+victim] = key
+	c.stamp[base+victim] = c.tick()
 	return evicted, wasEvicted
 }
 
-// Invalidate removes key if present, returning whether it was.
+// Invalidate removes key if present, returning whether it was. The last
+// valid way swaps into the hole, keeping the valid prefix contiguous.
 func (c *Cache) Invalidate(key uint64) bool {
-	base := c.set(key) * c.ways
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.keys[base+i] == key {
-			copy(c.keys[base+i:base+c.ways-1], c.keys[base+i+1:base+c.ways])
-			copy(c.valid[base+i:base+c.ways-1], c.valid[base+i+1:base+c.ways])
-			c.valid[base+c.ways-1] = false
+	s := c.set(key)
+	base := s * c.ways
+	n := int(c.occ[s])
+	for i := 0; i < n; i++ {
+		if c.keys[base+i] == key {
+			c.keys[base+i] = c.keys[base+n-1]
+			c.stamp[base+i] = c.stamp[base+n-1]
+			c.occ[s]--
+			c.n--
+			c.mruOK = false
 			return true
 		}
 	}
@@ -150,21 +181,12 @@ func (c *Cache) Invalidate(key uint64) bool {
 
 // Keys appends all resident keys to dst (unspecified order) and returns it.
 func (c *Cache) Keys(dst []uint64) []uint64 {
-	for i, v := range c.valid {
-		if v {
-			dst = append(dst, c.keys[i])
-		}
+	for s := 0; s < c.sets; s++ {
+		base := s * c.ways
+		dst = append(dst, c.keys[base:base+int(c.occ[s])]...)
 	}
 	return dst
 }
 
 // Len returns the number of valid entries.
-func (c *Cache) Len() int {
-	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) Len() int { return c.n }

@@ -1,47 +1,97 @@
 package cache
 
+import "confluence/internal/flatmap"
+
 // InFlight tracks outstanding fills (prefetches and demand misses) with
 // their completion times, the mechanism by which the simulator models
 // prefetch timeliness: a demand access to an in-flight block stalls only for
 // the residual latency.
+//
+// It is a thin wrapper over flatmap.Map — the open-addressed, linear-probe,
+// backward-shift-deleting table whose deletion algorithm is validated
+// against a reference model — adding the fill-table verbs: min-wins Add,
+// fused Take/TakeIfReady single conceptual probes (the second probe of a
+// take hits the map's last-slot cache), and a deterministic ascending-slot
+// Expire sweep. Nothing on the per-instruction path allocates.
 type InFlight struct {
-	m map[uint64]float64
+	m       *flatmap.Map[float64]
+	scratch []uint64 // reused by Expire's collect phase
 }
 
-// NewInFlight returns an empty in-flight table.
+// NewInFlight returns an empty in-flight table (64 slots, the steady-state
+// population of a SHIFT lookahead plus demand misses, growing if exceeded).
 func NewInFlight() *InFlight {
-	return &InFlight{m: make(map[uint64]float64)}
+	return &InFlight{m: flatmap.New[float64](48)} // next pow2 ≥ 4/3·48 = 64 slots
 }
 
 // Add registers a fill completing at ready. If the block is already in
 // flight, the earlier completion time wins.
 func (f *InFlight) Add(key uint64, ready float64) {
-	if cur, ok := f.m[key]; !ok || ready < cur {
-		f.m[key] = ready
+	p, existed := f.m.Upsert(key)
+	if !existed || ready < *p {
+		*p = ready
 	}
 }
 
 // Ready returns the completion time for key and whether it is in flight.
 func (f *InFlight) Ready(key uint64) (float64, bool) {
-	r, ok := f.m[key]
+	if f.m.Len() == 0 {
+		return 0, false
+	}
+	p := f.m.Ptr(key)
+	if p == nil {
+		return 0, false
+	}
+	return *p, true
+}
+
+// Take removes key, returning its completion time and whether it was in
+// flight — a fused Ready+Remove for the demand-access path.
+func (f *InFlight) Take(key uint64) (float64, bool) {
+	r, ok := f.Ready(key)
+	if ok {
+		f.m.Delete(key)
+	}
 	return r, ok
 }
 
+// TakeIfReady removes key iff its fill has completed by now, reporting
+// whether it did — the fill-materialization fast path at the top of every
+// frontend step.
+func (f *InFlight) TakeIfReady(key uint64, now float64) bool {
+	if f.m.Len() == 0 {
+		return false
+	}
+	p := f.m.Ptr(key)
+	if p == nil || *p > now {
+		return false
+	}
+	f.m.Delete(key)
+	return true
+}
+
 // Remove drops key (its fill materialized or was cancelled).
-func (f *InFlight) Remove(key uint64) { delete(f.m, key) }
+func (f *InFlight) Remove(key uint64) { f.m.Delete(key) }
 
 // Len returns the number of outstanding fills.
-func (f *InFlight) Len() int { return len(f.m) }
+func (f *InFlight) Len() int { return f.m.Len() }
 
-// Expire drops all fills with ready time <= now that satisfy keep==false,
-// invoking fn for each; used to materialize completed prefetches lazily.
-func (f *InFlight) Expire(now float64, fn func(key uint64)) {
-	for k, r := range f.m {
-		if r <= now {
-			delete(f.m, k)
-			if fn != nil {
-				fn(k)
-			}
+// Expire drops all fills with ready time <= now, invoking fn (when non-nil)
+// for each in ascending-slot order, and returns how many were dropped. The
+// sweep collects keys first and deletes second, so backward-shift compaction
+// cannot move an entry past the scan.
+func (f *InFlight) Expire(now float64, fn func(key uint64)) int {
+	f.scratch = f.scratch[:0]
+	for i := 0; i < f.m.Slots(); i++ {
+		if k, v, ok := f.m.Slot(i); ok && *v <= now {
+			f.scratch = append(f.scratch, k)
 		}
 	}
+	for _, k := range f.scratch {
+		f.m.Delete(k)
+		if fn != nil {
+			fn(k)
+		}
+	}
+	return len(f.scratch)
 }

@@ -2,78 +2,112 @@ package cache
 
 // Victim is a small fully-associative LRU buffer, used as the 64-entry
 // victim buffer backing the baseline conventional BTB and as PhantomBTB's
-// prefetch buffer.
-type Victim struct {
-	cap  int
-	keys []uint64 // MRU first
-	vals []any
+// prefetch buffer. It is generic over the stored value so entries live
+// inline — putting a value never boxes it into an interface, which kept an
+// allocation on the BTB-eviction path when values were `any`.
+//
+// Entries are unordered: recency is a strictly increasing use-stamp and the
+// eviction victim is the minimum stamp. That is the same true-LRU policy as
+// an ordered list (stamps are unique, so the minimum is the unique
+// least-recently-used entry) without shifting the whole buffer on every
+// insert — Put on the BTB-eviction path was one large memmove per call in
+// the ordered layout.
+type Victim[V any] struct {
+	cap   int
+	keys  []uint64
+	vals  []V
+	stamp []uint64
+	clock uint64
 }
 
 // NewVictim creates a victim buffer holding up to capacity entries.
-func NewVictim(capacity int) *Victim {
+func NewVictim[V any](capacity int) *Victim[V] {
 	if capacity <= 0 {
 		panic("cache: victim capacity must be positive")
 	}
-	return &Victim{cap: capacity}
+	return &Victim[V]{
+		cap:   capacity,
+		keys:  make([]uint64, 0, capacity),
+		vals:  make([]V, 0, capacity),
+		stamp: make([]uint64, 0, capacity),
+	}
 }
 
 // Capacity returns the configured capacity; Len the current occupancy.
-func (v *Victim) Capacity() int { return v.cap }
-func (v *Victim) Len() int      { return len(v.keys) }
+func (v *Victim[V]) Capacity() int { return v.cap }
+func (v *Victim[V]) Len() int      { return len(v.keys) }
 
-// Lookup returns the value for key and removes it (entries migrate back to
+func (v *Victim[V]) tick() uint64 {
+	v.clock++
+	return v.clock
+}
+
+// removeAt drops the entry at index i (order is not meaningful).
+func (v *Victim[V]) removeAt(i int) {
+	last := len(v.keys) - 1
+	v.keys[i], v.vals[i], v.stamp[i] = v.keys[last], v.vals[last], v.stamp[last]
+	var zero V
+	v.vals[last] = zero
+	v.keys = v.keys[:last]
+	v.vals = v.vals[:last]
+	v.stamp = v.stamp[:last]
+}
+
+// Take returns the value for key and removes it (entries migrate back to
 // the main structure on hit, the usual victim-buffer contract).
-func (v *Victim) Take(key uint64) (any, bool) {
+func (v *Victim[V]) Take(key uint64) (V, bool) {
 	for i, k := range v.keys {
 		if k == key {
 			val := v.vals[i]
-			v.keys = append(v.keys[:i], v.keys[i+1:]...)
-			v.vals = append(v.vals[:i], v.vals[i+1:]...)
+			v.removeAt(i)
 			return val, true
 		}
 	}
-	return nil, false
+	var zero V
+	return zero, false
 }
 
 // Peek returns the value for key without removing it, refreshing recency.
-func (v *Victim) Peek(key uint64) (any, bool) {
+func (v *Victim[V]) Peek(key uint64) (V, bool) {
 	for i, k := range v.keys {
 		if k == key {
-			val := v.vals[i]
-			copy(v.keys[1:i+1], v.keys[:i])
-			copy(v.vals[1:i+1], v.vals[:i])
-			v.keys[0], v.vals[0] = key, val
-			return val, true
+			v.stamp[i] = v.tick()
+			return v.vals[i], true
 		}
 	}
-	return nil, false
+	var zero V
+	return zero, false
 }
 
 // Put inserts (key, val) at MRU, evicting the LRU entry when full. A present
 // key is refreshed/overwritten.
-func (v *Victim) Put(key uint64, val any) {
+func (v *Victim[V]) Put(key uint64, val V) {
+	victim := -1
+	var oldest uint64 = ^uint64(0)
 	for i, k := range v.keys {
 		if k == key {
-			v.keys = append(v.keys[:i], v.keys[i+1:]...)
-			v.vals = append(v.vals[:i], v.vals[i+1:]...)
-			break
+			v.vals[i] = val
+			v.stamp[i] = v.tick()
+			return
+		}
+		if v.stamp[i] < oldest {
+			oldest, victim = v.stamp[i], i
 		}
 	}
 	if len(v.keys) < v.cap {
-		v.keys = append(v.keys, 0)
-		v.vals = append(v.vals, nil)
+		v.keys = append(v.keys, key)
+		v.vals = append(v.vals, val)
+		v.stamp = append(v.stamp, v.tick())
+		return
 	}
-	copy(v.keys[1:], v.keys)
-	copy(v.vals[1:], v.vals)
-	v.keys[0], v.vals[0] = key, val
+	v.keys[victim], v.vals[victim], v.stamp[victim] = key, val, v.tick()
 }
 
 // Remove drops key if present.
-func (v *Victim) Remove(key uint64) bool {
+func (v *Victim[V]) Remove(key uint64) bool {
 	for i, k := range v.keys {
 		if k == key {
-			v.keys = append(v.keys[:i], v.keys[i+1:]...)
-			v.vals = append(v.vals[:i], v.vals[i+1:]...)
+			v.removeAt(i)
 			return true
 		}
 	}

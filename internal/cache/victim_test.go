@@ -3,7 +3,7 @@ package cache
 import "testing"
 
 func TestVictimPutTake(t *testing.T) {
-	v := NewVictim(2)
+	v := NewVictim[string](2)
 	v.Put(1, "a")
 	v.Put(2, "b")
 	got, ok := v.Take(1)
@@ -19,7 +19,7 @@ func TestVictimPutTake(t *testing.T) {
 }
 
 func TestVictimLRUEviction(t *testing.T) {
-	v := NewVictim(2)
+	v := NewVictim[string](2)
 	v.Put(1, "a")
 	v.Put(2, "b")
 	v.Put(3, "c") // evicts 1 (LRU)
@@ -32,7 +32,7 @@ func TestVictimLRUEviction(t *testing.T) {
 }
 
 func TestVictimPeekRefreshes(t *testing.T) {
-	v := NewVictim(2)
+	v := NewVictim[string](2)
 	v.Put(1, "a")
 	v.Put(2, "b")
 	v.Peek(1) // 1 becomes MRU
@@ -46,7 +46,7 @@ func TestVictimPeekRefreshes(t *testing.T) {
 }
 
 func TestVictimPutOverwrites(t *testing.T) {
-	v := NewVictim(2)
+	v := NewVictim[string](2)
 	v.Put(1, "a")
 	v.Put(1, "b")
 	if v.Len() != 1 {
@@ -58,7 +58,7 @@ func TestVictimPutOverwrites(t *testing.T) {
 }
 
 func TestVictimRemove(t *testing.T) {
-	v := NewVictim(4)
+	v := NewVictim[string](4)
 	v.Put(1, "a")
 	if !v.Remove(1) || v.Remove(1) {
 		t.Error("Remove semantics wrong")
@@ -66,7 +66,7 @@ func TestVictimRemove(t *testing.T) {
 }
 
 func TestVictimCapacityOne(t *testing.T) {
-	v := NewVictim(1)
+	v := NewVictim[string](1)
 	v.Put(1, "a")
 	v.Put(2, "b")
 	if v.Len() != 1 {

@@ -61,26 +61,28 @@ func (f *FDP) lookahead() float64 {
 }
 
 // OnRegion implements prefetch.Prefetcher: prefetch the blocks of the
-// enqueued fetch region with the currently banked lookahead.
-func (f *FDP) OnRegion(now float64, start isa.Addr, nInstr int) []prefetch.Request {
+// enqueued fetch region with the currently banked lookahead, appending the
+// requests to dst.
+func (f *FDP) OnRegion(now float64, start isa.Addr, nInstr int, dst []prefetch.Request) []prefetch.Request {
 	f.Regions++
 	if nInstr <= 0 {
-		return nil
+		return dst
 	}
 	la := f.lookahead()
 	f.regionsAhead++
 	first := isa.BlockOf(start)
 	last := isa.BlockOf(start + isa.Addr((nInstr-1)*isa.InstrBytes))
-	var out []prefetch.Request
 	for b := first; b <= last; b += isa.BlockBytes {
-		out = append(out, prefetch.Request{Block: b, ExtraDelay: -la})
+		dst = append(dst, prefetch.Request{Block: b, ExtraDelay: -la})
 		f.Requests++
 	}
-	return out
+	return dst
 }
 
 // OnAccess implements prefetch.Prefetcher (FDP is region-driven).
-func (f *FDP) OnAccess(float64, isa.Addr, bool) []prefetch.Request { return nil }
+func (f *FDP) OnAccess(_ float64, _ isa.Addr, _ bool, dst []prefetch.Request) []prefetch.Request {
+	return dst
+}
 
 // Redirect implements prefetch.Prefetcher: the BPU's run-ahead is lost and
 // must refill region by region.

@@ -9,7 +9,7 @@ import (
 func TestRegionExpandsToBlocks(t *testing.T) {
 	f := New(Config{QueueDepth: 6, CyclesPerBB: 1.0})
 	// A region spanning a block boundary prefetches both blocks.
-	reqs := f.OnRegion(0, 0x1038, 4) // last instr at 0x1044: blocks 0x1000, 0x1040
+	reqs := f.OnRegion(0, 0x1038, 4, nil) // last instr at 0x1044: blocks 0x1000, 0x1040
 	if len(reqs) != 2 {
 		t.Fatalf("requests = %d, want 2", len(reqs))
 	}
@@ -22,12 +22,12 @@ func TestLookaheadRampsAfterRedirect(t *testing.T) {
 	f := New(DefaultConfig())
 	f.Redirect(100)
 	// First region after the redirect has no banked run-ahead.
-	reqs := f.OnRegion(101, 0x1000, 4)
+	reqs := f.OnRegion(101, 0x1000, 4, nil)
 	if reqs[0].ExtraDelay != 0 {
 		t.Errorf("first post-redirect region delay = %v, want 0", reqs[0].ExtraDelay)
 	}
 	// Each subsequent region banks CyclesPerBB more.
-	reqs = f.OnRegion(102, 0x2000, 4)
+	reqs = f.OnRegion(102, 0x2000, 4, nil)
 	want := -DefaultConfig().CyclesPerBB
 	if reqs[0].ExtraDelay != want {
 		t.Errorf("second region delay = %v, want %v", reqs[0].ExtraDelay, want)
@@ -40,7 +40,7 @@ func TestLookaheadCapsAtQueueDepth(t *testing.T) {
 	f.Redirect(0)
 	var last float64
 	for i := 0; i < 10; i++ {
-		reqs := f.OnRegion(float64(i), isa.Addr(0x1000+i*64), 4)
+		reqs := f.OnRegion(float64(i), isa.Addr(0x1000+i*64), 4, nil)
 		last = -reqs[0].ExtraDelay
 	}
 	if last != 6.0 { // 3 regions * 2 cycles
@@ -50,7 +50,7 @@ func TestLookaheadCapsAtQueueDepth(t *testing.T) {
 
 func TestFreshFDPStartsFull(t *testing.T) {
 	f := New(Config{QueueDepth: 4, CyclesPerBB: 1.5})
-	reqs := f.OnRegion(0, 0x1000, 4)
+	reqs := f.OnRegion(0, 0x1000, 4, nil)
 	if -reqs[0].ExtraDelay != 6.0 {
 		t.Errorf("initial lookahead = %v, want 6", -reqs[0].ExtraDelay)
 	}
@@ -58,14 +58,14 @@ func TestFreshFDPStartsFull(t *testing.T) {
 
 func TestOnAccessIsNoop(t *testing.T) {
 	f := New(DefaultConfig())
-	if got := f.OnAccess(0, 0x1000, true); got != nil {
+	if got := f.OnAccess(0, 0x1000, true, nil); got != nil {
 		t.Error("FDP reacted to an access")
 	}
 }
 
 func TestEmptyRegion(t *testing.T) {
 	f := New(DefaultConfig())
-	if got := f.OnRegion(0, 0x1000, 0); got != nil {
+	if got := f.OnRegion(0, 0x1000, 0, nil); got != nil {
 		t.Error("zero-length region produced requests")
 	}
 }

@@ -1,0 +1,233 @@
+// Package flatmap provides a flat, open-addressed hash table used by the
+// simulator's per-instruction hot paths in place of Go maps.
+//
+// The design goals, in order:
+//
+//  1. Determinism: slot assignment depends only on the keys inserted (via a
+//     fixed splitmix64 finalizer), and every whole-table walk (Keys) visits
+//     slots in ascending order — no Go-map iteration randomness can leak
+//     into simulated statistics.
+//  2. Zero steady-state allocation: Get/Ptr/Upsert/Delete never allocate;
+//     the backing arrays grow only when occupancy crosses the load factor,
+//     which sized-on-construction tables never do.
+//  3. Tombstone-free deletion: Delete uses backward-shift compaction, so
+//     long-lived tables do not degrade under churn the way tombstone
+//     schemes do.
+//
+// The table is linear-probed and power-of-two sized with a 3/4 maximum load
+// factor. Values are stored inline; Ptr/Upsert expose the slot's value in
+// place for read-modify-write without a second probe. Slot pointers are
+// invalidated by any subsequent Put/Upsert/Delete/Clear.
+package flatmap
+
+// Map is an open-addressed uint64-keyed hash table with inline values.
+// The zero value is not usable; call New.
+type Map[V any] struct {
+	keys []uint64
+	vals []V
+	live []uint64 // occupancy bitset: 64 slots per word, stays L1-resident
+	n    int
+	mask uint64
+
+	// last/lastOK cache the most recently probed key's slot. Linear-probe
+	// insertion writes only into empty slots — live entries never move on
+	// Put/Upsert — so the cached slot stays valid until a Delete
+	// (backward-shift moves entries), grow, or Clear. Back-to-back
+	// operations on one key (the dominant pattern on simulator hot paths:
+	// lookup-then-train on the same block) skip the hash and probe chain.
+	last   uint64
+	lastS  uint64
+	lastOK bool
+}
+
+const minSlots = 8
+
+// Hash is the splitmix64 finalizer: a fixed, well-mixed, invertible hash for
+// uint64 keys. Exported so sibling flat structures (cache.InFlight) share
+// the exact same slot assignment function.
+func Hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// New creates a table pre-sized to hold capacityHint entries without
+// growing (the backing array is the next power of two ≥ 4/3·capacityHint).
+func New[V any](capacityHint int) *Map[V] {
+	slots := minSlots
+	for 3*slots < 4*capacityHint {
+		slots *= 2
+	}
+	m := &Map[V]{}
+	m.init(slots)
+	return m
+}
+
+func (m *Map[V]) init(slots int) {
+	m.keys = make([]uint64, slots)
+	m.vals = make([]V, slots)
+	m.live = make([]uint64, (slots+63)/64)
+	m.mask = uint64(slots - 1)
+	m.n = 0
+}
+
+func (m *Map[V]) isLive(i uint64) bool { return m.live[i>>6]&(1<<(i&63)) != 0 }
+func (m *Map[V]) setLive(i uint64)     { m.live[i>>6] |= 1 << (i & 63) }
+func (m *Map[V]) clearLive(i uint64)   { m.live[i>>6] &^= 1 << (i & 63) }
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Slots returns the backing array size (tests and sizing diagnostics).
+func (m *Map[V]) Slots() int { return len(m.keys) }
+
+// probe returns the slot holding key, or the empty slot where it would be
+// inserted, and whether it was found.
+func (m *Map[V]) probe(key uint64) (uint64, bool) {
+	if m.lastOK && key == m.last {
+		return m.lastS, true
+	}
+	i := Hash(key) & m.mask
+	for m.isLive(i) {
+		if m.keys[i] == key {
+			m.last, m.lastS, m.lastOK = key, i, true
+			return i, true
+		}
+		i = (i + 1) & m.mask
+	}
+	return i, false
+}
+
+// Get returns the value for key.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	i, ok := m.probe(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return m.vals[i], true
+}
+
+// Ptr returns a pointer to key's value in place, or nil when absent.
+func (m *Map[V]) Ptr(key uint64) *V {
+	i, ok := m.probe(key)
+	if !ok {
+		return nil
+	}
+	return &m.vals[i]
+}
+
+// Contains reports whether key is present.
+func (m *Map[V]) Contains(key uint64) bool {
+	_, ok := m.probe(key)
+	return ok
+}
+
+// Put inserts or overwrites key's value.
+func (m *Map[V]) Put(key uint64, val V) {
+	p, _ := m.Upsert(key)
+	*p = val
+}
+
+// Upsert returns a pointer to key's value, inserting a zero value first when
+// absent, plus whether the key already existed. The single-probe
+// read-modify-write primitive (e.g. InFlight's min-completion-time Add).
+func (m *Map[V]) Upsert(key uint64) (*V, bool) {
+	i, ok := m.probe(key)
+	if ok {
+		return &m.vals[i], true
+	}
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+		i, _ = m.probe(key)
+	}
+	var zero V
+	m.keys[i], m.vals[i] = key, zero
+	m.setLive(i)
+	m.n++
+	m.last, m.lastS, m.lastOK = key, i, true
+	return &m.vals[i], false
+}
+
+func (m *Map[V]) grow() {
+	keys, vals, live := m.keys, m.vals, m.live
+	m.init(2 * len(keys))
+	m.lastOK = false // cached slot refers to the old arrays
+	for i := range keys {
+		if live[i>>6]&(1<<(uint(i)&63)) != 0 {
+			j, _ := m.probe(keys[i])
+			m.keys[j], m.vals[j] = keys[i], vals[i]
+			m.setLive(j)
+			m.n++
+		}
+	}
+}
+
+// Delete removes key using backward-shift compaction and reports whether it
+// was present.
+func (m *Map[V]) Delete(key uint64) bool {
+	i, ok := m.probe(key)
+	if !ok {
+		return false
+	}
+	m.n--
+	m.lastOK = false // backward-shift may move any entry of the chain
+	// Backward-shift: close the hole at i by sliding displaced entries of
+	// the same probe chain back toward their home slots.
+	var zero V
+	for {
+		m.clearLive(i)
+		m.vals[i] = zero // drop references held by pointer-bearing values
+		j := i
+		for {
+			j = (j + 1) & m.mask
+			if !m.isLive(j) {
+				return true
+			}
+			// The entry at j may fill the hole at i iff its home slot is
+			// cyclically outside (i, j] — otherwise moving it would break
+			// its own probe chain.
+			home := Hash(m.keys[j]) & m.mask
+			if (j-home)&m.mask >= (j-i)&m.mask {
+				break
+			}
+		}
+		m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+		m.setLive(i)
+		i = j
+	}
+}
+
+// Clear removes all entries, keeping capacity.
+func (m *Map[V]) Clear() {
+	clear(m.live)
+	clear(m.vals)
+	m.n = 0
+	m.lastOK = false
+}
+
+// Slot exposes slot i for closure-free ordered scans (see InFlight.Expire):
+// ok reports whether the slot is live, and val points at its value while it
+// remains live. Slot indices cover [0, Slots()); walking them ascending
+// yields the same deterministic order as Keys.
+func (m *Map[V]) Slot(i int) (key uint64, val *V, ok bool) {
+	if !m.isLive(uint64(i)) {
+		return 0, nil, false
+	}
+	return m.keys[i], &m.vals[i], true
+}
+
+// Keys appends all keys to dst in ascending slot order — a deterministic
+// order fixed by the insertion history, independent of Go map semantics —
+// and returns the extended slice.
+func (m *Map[V]) Keys(dst []uint64) []uint64 {
+	for i := range m.keys {
+		if m.isLive(uint64(i)) {
+			dst = append(dst, m.keys[i])
+		}
+	}
+	return dst
+}

@@ -1,0 +1,166 @@
+package flatmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	m := New[int](4)
+	if _, ok := m.Get(7); ok {
+		t.Fatal("empty map found a key")
+	}
+	m.Put(7, 70)
+	m.Put(8, 80)
+	if v, ok := m.Get(7); !ok || v != 70 {
+		t.Fatalf("Get(7) = %d, %v", v, ok)
+	}
+	m.Put(7, 71)
+	if v, _ := m.Get(7); v != 71 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !m.Delete(7) || m.Delete(7) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := m.Get(8); !ok || v != 80 {
+		t.Fatalf("sibling key lost after delete: %d, %v", v, ok)
+	}
+}
+
+func TestUpsertInPlace(t *testing.T) {
+	m := New[float64](4)
+	p, existed := m.Upsert(42)
+	if existed || *p != 0 {
+		t.Fatalf("first upsert: existed=%v val=%v", existed, *p)
+	}
+	*p = 3.5
+	p2, existed := m.Upsert(42)
+	if !existed || *p2 != 3.5 {
+		t.Fatalf("second upsert: existed=%v val=%v", existed, *p2)
+	}
+}
+
+func TestZeroKeyIsValid(t *testing.T) {
+	m := New[string](2)
+	m.Put(0, "zero")
+	if v, ok := m.Get(0); !ok || v != "zero" {
+		t.Fatalf("key 0 unsupported: %q, %v", v, ok)
+	}
+	m.Delete(0)
+	if m.Contains(0) {
+		t.Fatal("key 0 not deleted")
+	}
+}
+
+// TestAgainstGoMap drives the table through a long random op sequence and
+// checks every observable against a reference Go map, exercising growth,
+// collision chains, and backward-shift deletion.
+func TestAgainstGoMap(t *testing.T) {
+	m := New[uint64](0)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	// A narrow key space forces constant collisions and delete-churn.
+	for op := 0; op < 200_000; op++ {
+		k := uint64(rng.Intn(512))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			m.Put(k, v)
+			ref[k] = v
+		case 1:
+			got, ok := m.Get(k)
+			want, wok := ref[k]
+			if ok != wok || got != want {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, got, ok, want, wok)
+			}
+		case 2:
+			if m.Delete(k) != (func() bool { _, ok := ref[k]; return ok })() {
+				t.Fatalf("op %d: Delete(%d) disagreed", op, k)
+			}
+			delete(ref, k)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	keys := m.Keys(nil)
+	if len(keys) != len(ref) {
+		t.Fatalf("Keys returned %d, want %d", len(keys), len(ref))
+	}
+	for _, k := range keys {
+		if _, ok := ref[k]; !ok {
+			t.Fatalf("Keys yielded phantom %d", k)
+		}
+	}
+}
+
+// TestKeysOrderDeterministic pins that two tables built by the same
+// insertion history walk keys identically — the property the simulator's
+// determinism contract relies on.
+func TestKeysOrderDeterministic(t *testing.T) {
+	build := func() []uint64 {
+		m := New[int](0)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			k := rng.Uint64() % 997
+			if i%3 == 2 {
+				m.Delete(k)
+			} else {
+				m.Put(k, i)
+			}
+		}
+		return m.Keys(nil)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walk diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPresizedNeverGrows(t *testing.T) {
+	m := New[int](1000)
+	slots := m.Slots()
+	for i := 0; i < 1000; i++ {
+		m.Put(uint64(i), i)
+	}
+	if m.Slots() != slots {
+		t.Fatalf("pre-sized table grew: %d -> %d", slots, m.Slots())
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New[int](4)
+	for i := 0; i < 10; i++ {
+		m.Put(uint64(i), i)
+	}
+	m.Clear()
+	if m.Len() != 0 || m.Contains(3) {
+		t.Fatal("Clear left entries")
+	}
+	m.Put(3, 33)
+	if v, _ := m.Get(3); v != 33 {
+		t.Fatal("map unusable after Clear")
+	}
+}
+
+func BenchmarkMapPutGetDelete(b *testing.B) {
+	m := New[float64](4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) % 4096
+		m.Put(k, float64(i))
+		m.Get(k)
+		m.Delete(k)
+	}
+}

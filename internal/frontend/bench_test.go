@@ -1,0 +1,156 @@
+package frontend
+
+import (
+	"testing"
+
+	"confluence/internal/airbtb"
+	"confluence/internal/btb"
+	"confluence/internal/fdp"
+	"confluence/internal/isa"
+	"confluence/internal/shift"
+	"confluence/internal/trace"
+)
+
+// benchRecords builds a looping MemSource over a synthetic instruction
+// stream: nBlocks distinct 64B blocks visited as basic blocks with a taken
+// branch every fourth record — enough structure to exercise the BTB, the
+// predictors, the L1-I, and SHIFT's confirm/restart paths.
+func benchRecords(nBlocks int) *trace.MemSource {
+	recs := make([]trace.Record, 0, nBlocks*2)
+	base := isa.Addr(0x10000)
+	for i := 0; i < nBlocks; i++ {
+		start := base + isa.Addr(i)*isa.BlockBytes
+		// Two 8-instruction basic blocks per 64B block.
+		recs = append(recs, trace.Record{Start: start, N: 8, Next: start + 32})
+		mid := start + 32
+		var br trace.BranchInfo
+		next := start + isa.BlockBytes
+		if i == nBlocks-1 {
+			next = base
+		}
+		if i%4 == 3 {
+			br = trace.BranchInfo{
+				PC: mid + 7*isa.InstrBytes, Kind: isa.BrUncond,
+				Taken: true, Target: next,
+			}
+		}
+		recs = append(recs, trace.Record{Start: mid, N: 8, Br: br, Next: next})
+	}
+	return trace.NewMemSource(recs, true)
+}
+
+// benchCore assembles a single Confluence-style core (AirBTB + SHIFT over a
+// shared history) fed by a MemSource.
+func benchCore(b *testing.B, nBlocks int) (*Core, *trace.MemSource) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.BackendCPI = 0.6
+	cfg.Exposure = 0.42
+	cfg.Hier = testHier()
+	h := shift.NewHistory(4096)
+	cfg.Recorder = h
+	cfg.Prefetcher = shift.NewEngine(shift.Config{HistoryEntries: 4096, Lookahead: 20}, h, 10)
+	cfg.BTB = airbtb.New(airbtb.DefaultConfig())
+	return NewCore(cfg), benchRecords(nBlocks)
+}
+
+// BenchmarkCoreStep measures the per-basic-block cost of the frontend hot
+// path — Core.Step and everything it calls — for a single core driven from
+// a MemSource, with SHIFT and AirBTB wired the way the Confluence design
+// point wires them. The resident case stays within the L1-I (all hits);
+// the streaming case loops a footprint several times the L1-I, so every
+// lap exercises misses, fills, evictions, bundle churn, and SHIFT's
+// restart/confirm stream — the traffic the flat structures were built for.
+func BenchmarkCoreStep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		nBlocks int
+	}{
+		{"resident", 256},
+		{"streaming", 4096}, // 256KB of code vs the 32KB L1-I
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c, src := benchCore(b, bc.nBlocks)
+			var rec trace.Record
+			// Warm caches, history, and predictors into steady state.
+			for i := 0; i < 1<<15; i++ {
+				src.Next(&rec)
+				c.Step(&rec)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Next(&rec)
+				c.Step(&rec)
+			}
+			st := c.Stats()
+			b.ReportMetric(float64(st.Instructions)/float64(st.Records), "instr/block")
+		})
+	}
+}
+
+// TestCoreStepSteadyStateZeroAllocs pins the tentpole property: after
+// warmup, the per-instruction path — Core.Step with SHIFT, AirBTB, the
+// in-flight fill table, and the shared history all active — performs zero
+// heap allocations, so the flat-structure rewrite cannot silently rot back
+// into per-step garbage.
+func TestCoreStepSteadyStateZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BackendCPI = 0.6
+	cfg.Exposure = 0.42
+	cfg.Hier = testHier()
+	h := shift.NewHistory(4096)
+	cfg.Recorder = h
+	cfg.Prefetcher = shift.NewEngine(shift.Config{HistoryEntries: 4096, Lookahead: 20}, h, 10)
+	cfg.BTB = airbtb.New(airbtb.DefaultConfig())
+	c := NewCore(cfg)
+	// A footprint several times the L1-I: the measured steps continuously
+	// miss, fill, evict, and stream prefetches — the full hot path, not
+	// just the hit path, must be allocation-free.
+	src := benchRecords(4096)
+
+	var rec trace.Record
+	for i := 0; i < 1<<15; i++ {
+		src.Next(&rec)
+		c.Step(&rec)
+	}
+	// Cover several scrub periods (1<<14 steps each) so the periodic Expire
+	// sweep is included in the allocation budget.
+	allocs := testing.AllocsPerRun(4, func() {
+		for i := 0; i < 1<<14; i++ {
+			src.Next(&rec)
+			c.Step(&rec)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Core.Step allocated %v times per 2^14 steps, want 0", allocs)
+	}
+}
+
+// TestCoreStepZeroAllocsFDP pins the same property for the FDP design
+// points, whose OnRegion path appends into the frontend's scratch buffer.
+func TestCoreStepZeroAllocsFDP(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BackendCPI = 0.6
+	cfg.Exposure = 0.42
+	cfg.Hier = testHier()
+	cfg.BTB = btb.NewConventional("bench", 256, 4, 64)
+	cfg.Prefetcher = fdp.New(fdp.DefaultConfig())
+	c := NewCore(cfg)
+	src := benchRecords(256)
+
+	var rec trace.Record
+	for i := 0; i < 1<<15; i++ {
+		src.Next(&rec)
+		c.Step(&rec)
+	}
+	allocs := testing.AllocsPerRun(4, func() {
+		for i := 0; i < 1<<14; i++ {
+			src.Next(&rec)
+			c.Step(&rec)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FDP Core.Step allocated %v times per 2^14 steps, want 0", allocs)
+	}
+}

@@ -98,6 +98,17 @@ type Core struct {
 	// halfLLCLat caches half the average LLC latency: an in-flight fill
 	// with at least this much residual wait counts as an effective miss.
 	halfLLCLat float64
+
+	// reqs is the reusable prefetch-request scratch buffer threaded through
+	// OnAccess/OnRegion (append-into-dst), so the per-instruction path
+	// issues prefetches without allocating. Requests are consumed by
+	// schedule before the next prefetcher call, so one buffer suffices.
+	reqs []prefetch.Request
+
+	// issueTab[n] = float64(n)/IssueWidth for small n, precomputed with the
+	// same division so results are bit-identical — saves an fdiv per block
+	// (basic blocks are short; larger n falls back to dividing).
+	issueTab [64]float64
 }
 
 // NewCore builds a core from its config.
@@ -107,11 +118,15 @@ func NewCore(cfg Config) *Core {
 		hybrid: bpu.NewHybrid(cfg.PredictorEntries),
 		ras:    bpu.NewRAS(cfg.RASEntries),
 		itc:    bpu.NewITC(cfg.ITCEntries),
+		reqs:   make([]prefetch.Request, 0, 32),
 	}
 	if !cfg.PerfectL1I {
 		c.l1i = cache.New(cfg.L1ISets, cfg.L1IWays)
 		c.inflight = cache.NewInFlight()
 		c.halfLLCLat = 0.5 * cfg.Hier.AvgLLCLatency(cfg.CoreID)
+	}
+	for n := range c.issueTab {
+		c.issueTab[n] = float64(n) / cfg.IssueWidth
 	}
 	return c
 }
@@ -163,8 +178,7 @@ func (c *Core) Step(rec *trace.Record) {
 	// BTB lookup below sees state Confluence would have installed already.
 	if !c.cfg.PerfectL1I {
 		for b := first; b <= last; b += isa.BlockBytes {
-			if ready, ok := c.inflight.Ready(blockKey(b)); ok && ready <= now {
-				c.inflight.Remove(blockKey(b))
+			if c.inflight.TakeIfReady(blockKey(b), now) {
 				st.PrefUseful++
 				c.fill(now, b, false)
 			}
@@ -183,7 +197,8 @@ func (c *Core) Step(rec *trace.Record) {
 
 	// BPU emits the fetch region; FDP banks its run-ahead from it.
 	if pf := c.cfg.Prefetcher; pf != nil {
-		c.schedule(now, pf.OnRegion(now, rec.Start, rec.N))
+		c.reqs = pf.OnRegion(now, rec.Start, rec.N, c.reqs[:0])
+		c.schedule(now, c.reqs)
 	}
 
 	var stall float64
@@ -207,7 +222,12 @@ func (c *Core) Step(rec *trace.Record) {
 		}
 	}
 
-	issue := float64(rec.N) / c.cfg.IssueWidth
+	var issue float64
+	if uint(rec.N) < uint(len(c.issueTab)) {
+		issue = c.issueTab[rec.N]
+	} else {
+		issue = float64(rec.N) / c.cfg.IssueWidth
+	}
 	if issue < 1 {
 		issue = 1 // the BPU produces one fetch region per cycle
 	}
@@ -247,16 +267,10 @@ func (c *Core) predict(now float64, rec *trace.Record) (extra float64, redirect 
 		}
 	}
 
-	misfetch := func() {
-		extra += c.cfg.MisfetchPenalty
-		st.MisfetchCycles += c.cfg.MisfetchPenalty
-		redirect = true
-	}
-	resolveFlush := func() {
-		extra += c.cfg.ResolvePenalty
-		st.ResolveCycles += c.cfg.ResolvePenalty
-		redirect = true
-	}
+	// misfetch / resolveFlush outcomes, applied after the kind dispatch.
+	// (Plain booleans instead of the previous closures: closures forced the
+	// accumulators into addressable stack slots on the hottest branch path.)
+	misfetch, resolve := false, false
 
 	switch br.Kind {
 	case isa.BrCond:
@@ -265,24 +279,24 @@ func (c *Core) predict(now float64, rec *trace.Record) (extra float64, redirect 
 		switch {
 		case res.Hit && !correct:
 			st.DirMispredicts++
-			resolveFlush()
+			resolve = true
 		case !res.Hit && br.Taken:
 			// BTB miss: the BPU assumed sequential flow. Decode discovers
 			// the branch; if the direction predictor agrees "taken" the
 			// redirect costs the misfetch penalty, otherwise the branch
 			// resolves at execute.
 			if correct {
-				misfetch()
+				misfetch = true
 			} else {
 				st.DirMispredicts++
-				resolveFlush()
+				resolve = true
 			}
 		}
 		// BTB miss + not taken: the sequential assumption was right.
 
 	case isa.BrUncond, isa.BrCall:
 		if !res.Hit {
-			misfetch()
+			misfetch = true
 		}
 		if br.Kind == isa.BrCall {
 			c.ras.Push(br.PC + isa.InstrBytes)
@@ -294,9 +308,9 @@ func (c *Core) predict(now float64, rec *trace.Record) (extra float64, redirect 
 		switch {
 		case !rasOK:
 			st.RASMispredicts++
-			resolveFlush()
+			resolve = true
 		case !res.Hit:
-			misfetch()
+			misfetch = true
 		}
 
 	case isa.BrIndirect, isa.BrIndCall:
@@ -306,13 +320,23 @@ func (c *Core) predict(now float64, rec *trace.Record) (extra float64, redirect 
 		switch {
 		case !itcOK:
 			st.ITCMispredicts++
-			resolveFlush()
+			resolve = true
 		case !res.Hit:
-			misfetch()
+			misfetch = true
 		}
 		if br.Kind == isa.BrIndCall {
 			c.ras.Push(br.PC + isa.InstrBytes)
 		}
+	}
+	if misfetch {
+		extra += c.cfg.MisfetchPenalty
+		st.MisfetchCycles += c.cfg.MisfetchPenalty
+		redirect = true
+	}
+	if resolve {
+		extra += c.cfg.ResolvePenalty
+		st.ResolveCycles += c.cfg.ResolvePenalty
+		redirect = true
 	}
 	return extra, redirect
 }
@@ -328,12 +352,11 @@ func (c *Core) access(now float64, b isa.Addr) float64 {
 	switch {
 	case hit:
 	default:
-		if ready, ok := c.inflight.Ready(key); ok {
+		if ready, ok := c.inflight.Take(key); ok {
 			// A fill is in flight: wait out the residual latency only. A
 			// barely-started fill is still an effective miss for miss
 			// accounting (the paper's coverage numbers count misses the
 			// prefetcher failed to hide).
-			c.inflight.Remove(key)
 			resid := ready - now
 			if resid < 0 {
 				resid = 0
@@ -362,7 +385,8 @@ func (c *Core) access(now float64, b isa.Addr) float64 {
 
 	if pf := c.cfg.Prefetcher; pf != nil {
 		miss := !hit
-		c.schedule(now, pf.OnAccess(now, b, miss))
+		c.reqs = pf.OnAccess(now, b, miss, c.reqs[:0])
+		c.schedule(now, c.reqs)
 	}
 	if c.cfg.Recorder != nil {
 		if !c.hasLast || key != c.lastBlock {
@@ -420,5 +444,5 @@ func (c *Core) schedule(now float64, reqs []prefetch.Request) {
 // bound the in-flight table. The model does not charge cache pollution for
 // them (DESIGN.md §5).
 func (c *Core) scrub(now float64) {
-	c.inflight.Expire(now-2048, func(uint64) { c.st.PrefDiscarded++ })
+	c.st.PrefDiscarded += uint64(c.inflight.Expire(now-2048, nil))
 }

@@ -232,15 +232,17 @@ type stubPrefetcher struct {
 	fired bool
 }
 
-func (s *stubPrefetcher) Name() string                                        { return "stub" }
-func (s *stubPrefetcher) OnAccess(float64, isa.Addr, bool) []prefetch.Request { return nil }
-func (s *stubPrefetcher) Redirect(float64)                                    {}
-func (s *stubPrefetcher) OnRegion(now float64, start isa.Addr, n int) []prefetch.Request {
+func (s *stubPrefetcher) Name() string { return "stub" }
+func (s *stubPrefetcher) OnAccess(_ float64, _ isa.Addr, _ bool, dst []prefetch.Request) []prefetch.Request {
+	return dst
+}
+func (s *stubPrefetcher) Redirect(float64) {}
+func (s *stubPrefetcher) OnRegion(now float64, start isa.Addr, n int, dst []prefetch.Request) []prefetch.Request {
 	if s.fired {
-		return nil
+		return dst
 	}
 	s.fired = true
-	return []prefetch.Request{{Block: s.block, ExtraDelay: s.delay}}
+	return append(dst, prefetch.Request{Block: s.block, ExtraDelay: s.delay})
 }
 
 func TestPrefetchHidesLatency(t *testing.T) {

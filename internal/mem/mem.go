@@ -41,6 +41,11 @@ type Hierarchy struct {
 	llc  *cache.Cache
 	rsvd int // blocks reserved for virtualized metadata
 
+	// bankMask is Banks-1 when Banks is a power of two (the common CMP
+	// geometries), turning the per-access bank modulo — an integer divide
+	// on the LLC latency path — into a mask; -1 otherwise.
+	bankMask int
+
 	// Stats.
 	LLCHits, LLCMisses uint64
 }
@@ -60,10 +65,15 @@ func New(cfg Config, reservedMetadataBytes int) *Hierarchy {
 	for sets*2*cfg.LLCWays <= avail {
 		sets *= 2
 	}
+	bankMask := -1
+	if cfg.Banks > 0 && cfg.Banks&(cfg.Banks-1) == 0 {
+		bankMask = cfg.Banks - 1
+	}
 	return &Hierarchy{
-		cfg:  cfg,
-		llc:  cache.New(sets, cfg.LLCWays),
-		rsvd: rsvd,
+		cfg:      cfg,
+		llc:      cache.New(sets, cfg.LLCWays),
+		rsvd:     rsvd,
+		bankMask: bankMask,
 	}
 }
 
@@ -78,6 +88,9 @@ func (h *Hierarchy) LLC() *cache.Cache { return h.llc }
 
 // bank maps a block address to its LLC slice (address interleaved).
 func (h *Hierarchy) bank(block isa.Addr) int {
+	if h.bankMask >= 0 {
+		return int(block>>isa.BlockShift) & h.bankMask
+	}
 	return int(block>>isa.BlockShift) % h.cfg.Banks
 }
 

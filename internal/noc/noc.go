@@ -11,6 +11,12 @@ import "fmt"
 type Mesh struct {
 	Width, Height int
 	CyclesPerHop  int
+
+	// rt caches RoundTrip(a, b) for every tile pair (tiles² ints — 2KB for
+	// the paper's 4x4 mesh), replacing the per-access div/mod coordinate
+	// arithmetic on the LLC latency path with one table load. Built by New;
+	// a zero-value Mesh falls back to computing on the fly.
+	rt []int
 }
 
 // New creates a mesh; the paper's configuration is 4x4 with 3 cycles/hop.
@@ -18,7 +24,15 @@ func New(width, height, cyclesPerHop int) *Mesh {
 	if width <= 0 || height <= 0 || cyclesPerHop < 0 {
 		panic(fmt.Sprintf("noc: bad mesh %dx%d @%d", width, height, cyclesPerHop))
 	}
-	return &Mesh{Width: width, Height: height, CyclesPerHop: cyclesPerHop}
+	m := &Mesh{Width: width, Height: height, CyclesPerHop: cyclesPerHop}
+	tiles := m.Tiles()
+	m.rt = make([]int, tiles*tiles)
+	for a := 0; a < tiles; a++ {
+		for b := 0; b < tiles; b++ {
+			m.rt[a*tiles+b] = 2 * m.Hops(a, b) * m.CyclesPerHop
+		}
+	}
+	return m
 }
 
 // Tiles returns the tile count.
@@ -37,6 +51,9 @@ func (m *Mesh) Hops(a, b int) int {
 // RoundTrip returns the request+response network latency in cycles between
 // two tiles.
 func (m *Mesh) RoundTrip(a, b int) int {
+	if m.rt != nil {
+		return m.rt[a*m.Width*m.Height+b]
+	}
 	return 2 * m.Hops(a, b) * m.CyclesPerHop
 }
 

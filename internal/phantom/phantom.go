@@ -34,15 +34,17 @@ type group struct {
 
 // Store is the shared virtualized temporal-group table living in LLC data
 // blocks: 4K lines by default, LRU over regions. One Store is shared by all
-// cores running the workload.
+// cores running the workload. Groups are stored by value — one LLC line's
+// worth of entries inline in the tag store — so group insertion does not
+// allocate.
 type Store struct {
-	groups *cache.Assoc[*group]
+	groups *cache.Assoc[group]
 }
 
 // NewStore creates a store with the given number of LLC lines (power of
 // two; the paper dedicates 4K lines = 256KB).
 func NewStore(lines int) *Store {
-	return &Store{groups: cache.NewAssoc[*group](lines/4, 4)}
+	return &Store{groups: cache.NewAssoc[group](lines/4, 4)}
 }
 
 // Bytes returns the LLC footprint of the store.
@@ -53,7 +55,7 @@ func (s *Store) Bytes() int { return s.groups.Capacity() * isa.BlockBytes }
 type PhantomBTB struct {
 	name  string
 	l1    *cache.Assoc[btb.Entry]
-	pfbuf *cache.Victim
+	pfbuf *cache.Victim[btb.Entry]
 	store *Store
 
 	// Group formation: consecutive L1-BTB misses accumulate into cur,
@@ -86,7 +88,7 @@ func New(name string, l1Sets, l1Ways, pfEntries int, store *Store, metaLatency f
 	return &PhantomBTB{
 		name:        name,
 		l1:          cache.NewAssoc[btb.Entry](l1Sets, l1Ways),
-		pfbuf:       cache.NewVictim(pfEntries),
+		pfbuf:       cache.NewVictim[btb.Entry](pfEntries),
 		store:       store,
 		metaLatency: metaLatency,
 	}
@@ -121,8 +123,7 @@ func (p *PhantomBTB) Lookup(now float64, bb, brPC isa.Addr) btb.Result {
 		p.missPend = false
 		return btb.Result{Hit: true, Entry: e}
 	}
-	if v, ok := p.pfbuf.Take(k); ok {
-		e := v.(btb.Entry)
+	if e, ok := p.pfbuf.Take(k); ok {
 		p.insertL1(k, e)
 		p.missPend = false
 		p.GroupHits++
@@ -132,7 +133,7 @@ func (p *PhantomBTB) Lookup(now float64, bb, brPC isa.Addr) btb.Result {
 	// Resolve append the missing entry to the forming group.
 	p.missPend = true
 	if g, ok := p.store.groups.Lookup(region(bb)); ok {
-		p.pending = append(p.pending, pendingFill{ready: now + p.metaLatency, g: *g})
+		p.pending = append(p.pending, pendingFill{ready: now + p.metaLatency, g: g})
 		p.GroupFills++
 	}
 	return btb.Result{}
@@ -165,8 +166,7 @@ func (p *PhantomBTB) Resolve(now float64, bb isa.Addr, nInstr int, br trace.Bran
 	p.cur.entries[p.cur.n] = taggedEntry{key: k, e: e}
 	p.cur.n++
 	if p.cur.n == GroupEntries {
-		g := p.cur
-		p.store.groups.Insert(p.curRegion, &g)
+		p.store.groups.Insert(p.curRegion, p.cur)
 		p.curValid = false
 	}
 }

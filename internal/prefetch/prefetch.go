@@ -17,13 +17,22 @@ type Request struct {
 
 // Prefetcher is driven by the frontend on every fetch region and L1-I block
 // access.
+//
+// OnAccess and OnRegion follow the append-into-dst convention (like
+// Cache.Keys): the caller passes a request buffer and receives it back with
+// any new requests appended. The frontend threads one reusable scratch
+// buffer through every call, so prefetchers issue requests without
+// allocating on the per-instruction path; implementations must only append
+// to dst and must not retain it.
 type Prefetcher interface {
 	Name() string
 	// OnAccess observes a demand block access; miss reports whether the
 	// block was absent from the L1-I (in-flight fills count as present).
-	OnAccess(now float64, block isa.Addr, miss bool) []Request
-	// OnRegion observes a fetch region emitted by the BPU.
-	OnRegion(now float64, start isa.Addr, nInstr int) []Request
+	// Requests are appended to dst.
+	OnAccess(now float64, block isa.Addr, miss bool, dst []Request) []Request
+	// OnRegion observes a fetch region emitted by the BPU. Requests are
+	// appended to dst.
+	OnRegion(now float64, start isa.Addr, nInstr int, dst []Request) []Request
 	// Redirect observes a pipeline redirect (misfetch or misprediction),
 	// which destroys any BPU run-ahead.
 	Redirect(now float64)
@@ -36,10 +45,10 @@ type Null struct{}
 func (Null) Name() string { return "none" }
 
 // OnAccess implements Prefetcher.
-func (Null) OnAccess(float64, isa.Addr, bool) []Request { return nil }
+func (Null) OnAccess(_ float64, _ isa.Addr, _ bool, dst []Request) []Request { return dst }
 
 // OnRegion implements Prefetcher.
-func (Null) OnRegion(float64, isa.Addr, int) []Request { return nil }
+func (Null) OnRegion(_ float64, _ isa.Addr, _ int, dst []Request) []Request { return dst }
 
 // Redirect implements Prefetcher.
 func (Null) Redirect(float64) {}

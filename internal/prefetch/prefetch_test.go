@@ -18,10 +18,10 @@ func TestNullDoesNothing(t *testing.T) {
 	if n.Name() != "none" {
 		t.Errorf("Name = %q", n.Name())
 	}
-	if got := n.OnAccess(0, 0x1000, true); got != nil {
+	if got := n.OnAccess(0, 0x1000, true, nil); got != nil {
 		t.Error("Null issued prefetches on access")
 	}
-	if got := n.OnRegion(0, 0x1000, 8); got != nil {
+	if got := n.OnRegion(0, 0x1000, 8, nil); got != nil {
 		t.Error("Null issued prefetches on region")
 	}
 	n.Redirect(0) // must not panic
@@ -66,7 +66,7 @@ func TestSHIFTRestartStreamsHistory(t *testing.T) {
 	// An unpredicted miss on hist[0] restarts the stream there: the engine
 	// must issue the blocks that followed it, up to the lookahead, with the
 	// serialized restart delay (two LLC metadata reads) on the first.
-	reqs := e.OnAccess(0, blockAddr(hist[0]), true)
+	reqs := e.OnAccess(0, blockAddr(hist[0]), true, nil)
 	if len(reqs) != lookahead {
 		t.Fatalf("restart issued %d requests, want %d", len(reqs), lookahead)
 	}
@@ -90,11 +90,11 @@ func TestSHIFTConfirmAdvancesWindow(t *testing.T) {
 	hist := stream(12)
 	const lookahead = 4
 	_, e := shiftEngine(hist, lookahead, 10)
-	e.OnAccess(0, blockAddr(hist[0]), true)
+	e.OnAccess(0, blockAddr(hist[0]), true, nil)
 
 	// Demand touching a predicted block confirms it: it leaves the window
 	// and the stream advances one block, with no restart penalty.
-	reqs := e.OnAccess(1, blockAddr(hist[1]), false)
+	reqs := e.OnAccess(1, blockAddr(hist[1]), false, nil)
 	if len(reqs) != 1 {
 		t.Fatalf("confirm issued %d requests, want 1", len(reqs))
 	}
@@ -109,7 +109,7 @@ func TestSHIFTConfirmAdvancesWindow(t *testing.T) {
 	}
 	// Confirms count even when the predicted block missed (a late fill):
 	// the stream still advances rather than restarting.
-	if reqs := e.OnAccess(2, blockAddr(hist[2]), true); len(reqs) != 1 {
+	if reqs := e.OnAccess(2, blockAddr(hist[2]), true, nil); len(reqs) != 1 {
 		t.Errorf("late-fill confirm issued %d requests, want 1", len(reqs))
 	}
 	if e.StreamRestarts != 1 {
@@ -123,7 +123,7 @@ func TestSHIFTDuplicateSuppression(t *testing.T) {
 	hist := []uint64{100, 200, 300, 200, 400, 500}
 	_, e := shiftEngine(hist, 4, 10)
 
-	reqs := e.OnAccess(0, blockAddr(100), true)
+	reqs := e.OnAccess(0, blockAddr(100), true, nil)
 	want := []uint64{200, 300, 400, 500} // the duplicate 200 skipped, window topped up past it
 	if len(reqs) != len(want) {
 		t.Fatalf("issued %d requests, want %d", len(reqs), len(want))
@@ -140,7 +140,7 @@ func TestSHIFTStreamBoundary(t *testing.T) {
 	// there, so the window cannot fill to the full lookahead.
 	hist := stream(6)
 	_, e := shiftEngine(hist, 8, 10)
-	reqs := e.OnAccess(0, blockAddr(hist[3]), true)
+	reqs := e.OnAccess(0, blockAddr(hist[3]), true, nil)
 	if len(reqs) != 2 {
 		t.Fatalf("issued %d requests at the frontier, want 2 (hist[4:])", len(reqs))
 	}
@@ -148,7 +148,7 @@ func TestSHIFTStreamBoundary(t *testing.T) {
 		t.Errorf("window holds %d, want 2", e.WindowSize())
 	}
 	// Confirming at the boundary cannot issue anything further.
-	if reqs := e.OnAccess(1, blockAddr(hist[4]), false); len(reqs) != 0 {
+	if reqs := e.OnAccess(1, blockAddr(hist[4]), false, nil); len(reqs) != 0 {
 		t.Errorf("advance past the frontier issued %d requests", len(reqs))
 	}
 }
@@ -156,14 +156,14 @@ func TestSHIFTStreamBoundary(t *testing.T) {
 func TestSHIFTIndexMiss(t *testing.T) {
 	hist := stream(8)
 	_, e := shiftEngine(hist, 4, 10)
-	if reqs := e.OnAccess(0, blockAddr(9999), true); reqs != nil {
+	if reqs := e.OnAccess(0, blockAddr(9999), true, nil); reqs != nil {
 		t.Errorf("unknown block issued %d requests", len(reqs))
 	}
 	if e.IndexMisses != 1 {
 		t.Errorf("IndexMisses = %d", e.IndexMisses)
 	}
 	// A non-miss access to an unpredicted block is ignored entirely.
-	if reqs := e.OnAccess(1, blockAddr(hist[0]), false); reqs != nil {
+	if reqs := e.OnAccess(1, blockAddr(hist[0]), false, nil); reqs != nil {
 		t.Errorf("L1-I hit restarted the stream")
 	}
 	if e.StreamRestarts != 1 {
@@ -174,10 +174,10 @@ func TestSHIFTIndexMiss(t *testing.T) {
 func TestSHIFTIgnoresRegionsAndRedirects(t *testing.T) {
 	hist := stream(12)
 	_, e := shiftEngine(hist, 4, 10)
-	if reqs := e.OnRegion(0, blockAddr(hist[0]), 8); reqs != nil {
+	if reqs := e.OnRegion(0, blockAddr(hist[0]), 8, nil); reqs != nil {
 		t.Error("SHIFT issued on a fetch region")
 	}
-	e.OnAccess(0, blockAddr(hist[0]), true)
+	e.OnAccess(0, blockAddr(hist[0]), true, nil)
 	before := e.WindowSize()
 	// SHIFT's run-ahead is autonomous: a pipeline redirect must not destroy
 	// the prediction window (the paper's timeliness argument vs FDP).
@@ -185,7 +185,7 @@ func TestSHIFTIgnoresRegionsAndRedirects(t *testing.T) {
 	if e.WindowSize() != before {
 		t.Errorf("redirect shrank the window from %d to %d", before, e.WindowSize())
 	}
-	if reqs := e.OnAccess(2, blockAddr(hist[1]), false); len(reqs) != 1 {
+	if reqs := e.OnAccess(2, blockAddr(hist[1]), false, nil); len(reqs) != 1 {
 		t.Errorf("stream did not survive the redirect")
 	}
 }
@@ -196,7 +196,7 @@ func TestFDPRegionPrefetchesWithBankedLookahead(t *testing.T) {
 
 	// A fresh FDP has a full queue of run-ahead banked.
 	full := float64(cfg.QueueDepth) * cfg.CyclesPerBB
-	reqs := f.OnRegion(0, 0x1000, 4) // 4 instructions inside one block
+	reqs := f.OnRegion(0, 0x1000, 4, nil) // 4 instructions inside one block
 	if len(reqs) != 1 {
 		t.Fatalf("single-block region issued %d requests", len(reqs))
 	}
@@ -206,7 +206,7 @@ func TestFDPRegionPrefetchesWithBankedLookahead(t *testing.T) {
 
 	// A region spanning a block boundary prefetches both blocks.
 	start := isa.Addr(0x2000 + 56) // 2 instructions in this block, rest in the next
-	reqs = f.OnRegion(1, start, 6)
+	reqs = f.OnRegion(1, start, 6, nil)
 	if len(reqs) != 2 {
 		t.Fatalf("spanning region issued %d requests, want 2", len(reqs))
 	}
@@ -214,10 +214,10 @@ func TestFDPRegionPrefetchesWithBankedLookahead(t *testing.T) {
 		t.Errorf("spanning blocks = %#x, %#x", reqs[0].Block, reqs[1].Block)
 	}
 
-	if reqs := f.OnRegion(2, 0x3000, 0); reqs != nil {
+	if reqs := f.OnRegion(2, 0x3000, 0, nil); reqs != nil {
 		t.Error("empty region issued prefetches")
 	}
-	if reqs := f.OnAccess(3, 0x3000, true); reqs != nil {
+	if reqs := f.OnAccess(3, 0x3000, true, nil); reqs != nil {
 		t.Error("FDP issued on access (it is region-driven)")
 	}
 }
@@ -231,7 +231,7 @@ func TestFDPRedirectDestroysRunAhead(t *testing.T) {
 	// subsequent region banks one more, capped at the queue depth.
 	wantLA := []float64{0, 2, 4, 6, 8, 8, 8}
 	for i, want := range wantLA {
-		reqs := f.OnRegion(float64(i), 0x1000, 4)
+		reqs := f.OnRegion(float64(i), 0x1000, 4, nil)
 		if len(reqs) != 1 {
 			t.Fatalf("region %d issued %d requests", i, len(reqs))
 		}
@@ -245,7 +245,7 @@ func TestFDPRedirectDestroysRunAhead(t *testing.T) {
 
 	// A second redirect resets the ramp again.
 	f.Redirect(99)
-	if reqs := f.OnRegion(100, 0x1000, 4); reqs[0].ExtraDelay != 0 {
+	if reqs := f.OnRegion(100, 0x1000, 4, nil); reqs[0].ExtraDelay != 0 {
 		t.Errorf("post-redirect lookahead %v, want 0", -reqs[0].ExtraDelay)
 	}
 }

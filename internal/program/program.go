@@ -13,6 +13,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"confluence/internal/isa"
 )
@@ -73,7 +74,15 @@ type BasicBlock struct {
 
 	// Func is the owning function, filled by link.
 	Func *Function
+
+	// idx is the block's position in the program's ascending-address block
+	// order (and in the ExecNodes array), filled by Finalize.
+	idx int32
 }
+
+// Index returns the block's position in Blocks()/ExecNodes() order; valid
+// after Finalize.
+func (b *BasicBlock) Index() int32 { return b.idx }
 
 // End returns the address one past the last instruction of the block.
 func (b *BasicBlock) End() isa.Addr { return b.Addr + isa.Addr(b.NInstr*isa.InstrBytes) }
@@ -107,6 +116,57 @@ type Program struct {
 	// materialized once in Finalize so concurrent simulations can share a
 	// Program without synchronization.
 	predecoded [][]isa.PredecodedBranch
+
+	// execNodes is the execution-compiled CFG: one pointer-free, fixed-size
+	// node per basic block in ascending address order, with successors as
+	// indices. Executors walk this flat array instead of the pointer graph
+	// — the layout is contiguous and follows code order, so the dominant
+	// fall-through/sequential control flow walks memory sequentially, and
+	// the array costs the garbage collector nothing to scan. Compiled
+	// lazily on first use (only executed programs pay the footprint) and
+	// read-only afterwards, shared by all cores.
+	execOnce    sync.Once
+	execNodes   []ExecNode
+	indirectIdx []int32 // pooled indirect-target indices (ExecNode.TargetsOff/N)
+}
+
+// ExecNode is the flat execution form of one basic block. All successor
+// references are indices into the same array; indirect target lists live in
+// a shared pool addressed by TargetsOff/TargetsN. The struct is pointer-free
+// and kept small (48 bytes) so the walk stays cache-dense; the terminating
+// branch's PC is not stored — link pins it to the block's last instruction,
+// so it is Addr + (NInstr-1)*4 (see BrPC).
+type ExecNode struct {
+	Addr      isa.Addr // block start
+	Target    isa.Addr // static target for direct branches
+	TakenBias float64
+
+	Fall       int32 // index of the fall-through successor; -1 if none
+	TargetNode int32 // index of the direct-branch target; -1 if none
+	TargetsOff int32 // first indirect-candidate index in the pool
+	TripMean   int32
+
+	NInstr   uint16
+	TargetsN uint16 // number of indirect candidates
+	BrKind   isa.BranchKind
+	Loop     LoopKind
+}
+
+// BrPC returns the terminating branch's PC (the block's last instruction).
+func (n *ExecNode) BrPC() isa.Addr {
+	return n.Addr + isa.Addr(n.NInstr-1)*isa.InstrBytes
+}
+
+// ExecNodes returns the flat compiled CFG, compiling it on first use; valid
+// after Finalize. Safe for concurrent use.
+func (p *Program) ExecNodes() []ExecNode {
+	p.execOnce.Do(p.compileExecNodes)
+	return p.execNodes
+}
+
+// IndirectTargets returns the pooled indirect-candidate indices for node n.
+func (p *Program) IndirectTargets(n *ExecNode) []int32 {
+	return p.indirectIdx[n.TargetsOff : n.TargetsOff+int32(n.TargetsN)]
 }
 
 // Blocks returns all basic blocks in ascending address order.
@@ -138,10 +198,11 @@ func (p *Program) Finalize() error {
 		}
 	}
 	sort.Slice(p.blocks, func(i, j int) bool { return p.blocks[i].Addr < p.blocks[j].Addr })
-	for _, b := range p.blocks {
+	for i, b := range p.blocks {
 		if _, dup := p.byAddr[b.Addr]; dup {
 			return fmt.Errorf("program: duplicate block at %#x", b.Addr)
 		}
+		b.idx = int32(i)
 		p.byAddr[b.Addr] = b
 	}
 	if err := p.link(); err != nil {
@@ -157,6 +218,48 @@ func (p *Program) Finalize() error {
 			p.imgBase+isa.Addr(off))
 	}
 	return p.Validate()
+}
+
+// compileExecNodes flattens the linked pointer graph into the pointer-free
+// ExecNode array (see ExecNode). Called once via ExecNodes.
+func (p *Program) compileExecNodes() {
+	p.execNodes = make([]ExecNode, len(p.blocks))
+	p.indirectIdx = p.indirectIdx[:0]
+	for i, b := range p.blocks {
+		if b.NInstr > 1<<16-1 {
+			panic(fmt.Sprintf("program: block %#x too long for exec node (%d instr)", b.Addr, b.NInstr))
+		}
+		n := ExecNode{
+			Addr:       b.Addr,
+			NInstr:     uint16(b.NInstr),
+			Fall:       -1,
+			TargetNode: -1,
+		}
+		if b.Fall != nil {
+			n.Fall = b.Fall.idx
+		}
+		if br := b.Branch; br != nil {
+			n.BrKind = br.Kind
+			n.Target = br.Target
+			n.TakenBias = br.TakenBias
+			n.Loop = br.Loop
+			n.TripMean = int32(br.TripMean)
+			if br.TargetBlock != nil {
+				n.TargetNode = br.TargetBlock.idx
+			}
+			if len(br.TargetBlocks) > 0 {
+				if len(br.TargetBlocks) > 1<<16-1 {
+					panic(fmt.Sprintf("program: indirect at %#x has too many targets", br.PC))
+				}
+				n.TargetsOff = int32(len(p.indirectIdx))
+				n.TargetsN = uint16(len(br.TargetBlocks))
+				for _, tb := range br.TargetBlocks {
+					p.indirectIdx = append(p.indirectIdx, tb.idx)
+				}
+			}
+		}
+		p.execNodes[i] = n
+	}
 }
 
 func (p *Program) link() error {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"confluence/internal/isa"
+	"confluence/internal/prefetch"
 )
 
 // BenchmarkHistoryRecord measures the generator core's logging path.
@@ -23,10 +24,39 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 		h.Record(i)
 	}
 	e := NewEngine(Config{HistoryEntries: 32 << 10, Lookahead: 20}, h, 20)
-	e.OnAccess(0, 0, true) // prime the stream
+	e.OnAccess(0, 0, true, nil) // prime the stream
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk := isa.Addr(uint64(i)%streamLen) << isa.BlockShift
-		e.OnAccess(float64(i), blk, false)
+		e.OnAccess(float64(i), blk, false, nil)
+	}
+}
+
+// BenchmarkShiftOnAccess_HitAndRestart interleaves the engine's two costly
+// paths the way a real miss stream does: confirming hits that advance the
+// window, and unpredicted misses that restart the stream through the
+// history index. The request buffer is reused across calls, mirroring the
+// frontend's scratch threading — the loop must not allocate.
+func BenchmarkShiftOnAccess_HitAndRestart(b *testing.B) {
+	h := NewHistory(32 << 10)
+	const streamLen = 8192
+	for i := uint64(0); i < streamLen; i++ {
+		h.Record(i)
+	}
+	e := NewEngine(Config{HistoryEntries: 32 << 10, Lookahead: 20}, h, 20)
+	var reqs []prefetch.Request
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			// Unpredicted miss far from the current stream: index lookup +
+			// stream restart + a full lookahead of issues.
+			blk := isa.Addr(uint64(i)*257%streamLen) << isa.BlockShift
+			reqs = e.OnAccess(float64(i), blk, true, reqs[:0])
+		} else {
+			// In-stream access: window confirm + top-up.
+			blk := isa.Addr(uint64(i)%streamLen) << isa.BlockShift
+			reqs = e.OnAccess(float64(i), blk, false, reqs[:0])
+		}
 	}
 }

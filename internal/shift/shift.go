@@ -13,9 +13,17 @@
 // and, on a hit, streams the blocks that followed the previous occurrence,
 // keeping a lookahead window of in-flight predictions that advances as the
 // core's demand stream confirms them.
+//
+// Both bookkeeping structures are flat: the index is an open-addressed
+// table sized once to the history buffer (entries are purged eagerly when
+// the circular buffer overwrites their slot, which bounds the index at one
+// entry per buffer slot), and each engine's prediction window is a fixed
+// array of at most Lookahead blocks scanned linearly. Neither the record
+// path nor the replay path allocates in steady state.
 package shift
 
 import (
+	"confluence/internal/flatmap"
 	"confluence/internal/isa"
 	"confluence/internal/prefetch"
 )
@@ -48,11 +56,21 @@ const recentDepth = 16
 
 // History is the shared instruction-stream history: written by the
 // generator core, read by every core's Engine.
+//
+// The index is a keyless open-addressed table: a slot stores only a buffer
+// position, and the key of a live slot is read back from the buffer itself
+// (buf[idx[slot]]) — the exact trick of SHIFT's hardware virtualization,
+// where the index extends the LLC tag array with history pointers rather
+// than duplicating block addresses. At 4 bytes per slot the whole 32K-entry
+// index is a quarter the footprint of a keyed table.
 type History struct {
 	buf    []uint64 // block numbers
 	head   int      // next write position
 	filled bool
-	index  map[uint64]int32
+
+	idx     []int32 // history positions; -1 = empty slot
+	idxMask uint64
+	idxN    int
 
 	recent [recentDepth]uint64
 	rhead  int
@@ -66,9 +84,66 @@ func NewHistory(entries int) *History {
 	if entries <= 0 {
 		panic("shift: history entries must be positive")
 	}
+	// Power-of-two slots with load factor <= 3/4 at full occupancy (the
+	// eager purge in Record bounds live index entries at one per buffer
+	// slot, so the table is sized once and never grows).
+	slots := 16
+	for 3*slots < 4*entries {
+		slots *= 2
+	}
+	idx := make([]int32, slots)
+	for i := range idx {
+		idx[i] = -1
+	}
 	return &History{
-		buf:   make([]uint64, entries),
-		index: make(map[uint64]int32, entries),
+		buf:     make([]uint64, entries),
+		idx:     idx,
+		idxMask: uint64(slots - 1),
+	}
+}
+
+// idxFind returns the slot and position of block's index entry.
+func (h *History) idxFind(block uint64) (slot uint64, pos int32, ok bool) {
+	i := flatmap.Hash(block) & h.idxMask
+	for h.idx[i] >= 0 {
+		if p := h.idx[i]; h.buf[p] == block {
+			return i, p, true
+		}
+		i = (i + 1) & h.idxMask
+	}
+	return i, 0, false
+}
+
+// idxPut points block's index entry at pos, inserting if absent.
+func (h *History) idxPut(block uint64, pos int32) {
+	i, _, ok := h.idxFind(block)
+	if !ok {
+		h.idxN++
+	}
+	h.idx[i] = pos
+}
+
+// idxDelete removes block's entry with backward-shift compaction (slot
+// homes are recomputed from the buffer, since slots store no keys).
+func (h *History) idxDelete(slot uint64) {
+	h.idxN--
+	i := slot
+	for {
+		h.idx[i] = -1
+		j := i
+		for {
+			j = (j + 1) & h.idxMask
+			p := h.idx[j]
+			if p < 0 {
+				return
+			}
+			home := flatmap.Hash(h.buf[p]) & h.idxMask
+			if (j-home)&h.idxMask >= (j-i)&h.idxMask {
+				break
+			}
+		}
+		h.idx[i] = h.idx[j]
+		i = j
 	}
 }
 
@@ -87,8 +162,20 @@ func (h *History) Record(block uint64) {
 	h.any = true
 	h.recent[h.rhead] = block
 	h.rhead = (h.rhead + 1) % recentDepth
+	if h.filled {
+		// The circular buffer is overwriting an old entry: purge its index
+		// pointer if it still names this slot. Eager purging keeps every
+		// index entry pointer-accurate (buf[idx[slot]] is always the
+		// entry's key) and bounds the index at one live entry per buffer
+		// slot, which is what lets it be an open-addressed table sized once
+		// at construction.
+		old := h.buf[h.head]
+		if slot, p, ok := h.idxFind(old); ok && int(p) == h.head {
+			h.idxDelete(slot)
+		}
+	}
 	h.buf[h.head] = block
-	h.index[block] = int32(h.head)
+	h.idxPut(block, int32(h.head))
 	h.head++
 	if h.head == len(h.buf) {
 		h.head = 0
@@ -97,16 +184,13 @@ func (h *History) Record(block uint64) {
 	h.Records++
 }
 
-// Find returns the position of the most recent occurrence of block. Stale
-// index entries (overwritten by the circular buffer) are detected by
-// re-checking the buffer contents.
+// Find returns the position of the most recent occurrence of block. The
+// eager purge in Record means an entry's buffer slot always holds its key,
+// so the probe itself validates against the buffer — stale pointers cannot
+// exist.
 func (h *History) Find(block uint64) (int, bool) {
-	p, ok := h.index[block]
+	_, p, ok := h.idxFind(block)
 	if !ok {
-		return 0, false
-	}
-	if h.buf[p] != block {
-		delete(h.index, block) // stale pointer
 		return 0, false
 	}
 	return int(p), true
@@ -135,14 +219,25 @@ func (h *History) Len() int {
 	return h.head
 }
 
+// IndexLen returns the number of live index entries (tests).
+func (h *History) IndexLen() int { return h.idxN }
+
 // Engine is one core's stream-replay engine over a shared History.
 type Engine struct {
 	cfg Config
 	h   *History
 
-	valid  bool
-	pos    int
-	window map[uint64]struct{}
+	valid bool
+	pos   int
+	// window holds the in-flight predictions (at most Lookahead block
+	// numbers, order irrelevant) in a fixed array scanned linearly — at the
+	// paper's depth of 20 a scan beats any hashed structure and allocates
+	// nothing. sig is a one-word Bloom signature of the window's contents
+	// (bit b&63 per member): most L1-I accesses are not window members, and
+	// the signature turns that common negative membership test into a
+	// single mask check. False positives just fall through to the scan.
+	window []uint64
+	sig    uint64
 
 	// restartDelay models the serialized LLC metadata accesses on a stream
 	// restart: index read followed by a history-buffer read.
@@ -158,7 +253,7 @@ func NewEngine(cfg Config, h *History, metaLatency float64) *Engine {
 	return &Engine{
 		cfg:          cfg,
 		h:            h,
-		window:       make(map[uint64]struct{}, cfg.Lookahead*2),
+		window:       make([]uint64, 0, cfg.Lookahead),
 		restartDelay: 2 * metaLatency,
 	}
 }
@@ -166,17 +261,48 @@ func NewEngine(cfg Config, h *History, metaLatency float64) *Engine {
 // Name implements prefetch.Prefetcher.
 func (e *Engine) Name() string { return "SHIFT" }
 
+func sigBit(b uint64) uint64 { return 1 << (b & 63) }
+
+// inWindow returns the position of b in the window, or -1. The signature
+// short-circuits the (common) negative case.
+func (e *Engine) inWindow(b uint64) int {
+	if e.sig&sigBit(b) == 0 {
+		return -1
+	}
+	for i, w := range e.window {
+		if w == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// rebuildSig recomputes the Bloom signature after a removal (a set bit may
+// have been shared with the removed member).
+func (e *Engine) rebuildSig() {
+	s := uint64(0)
+	for _, w := range e.window {
+		s |= sigBit(w)
+	}
+	e.sig = s
+}
+
 // OnAccess implements prefetch.Prefetcher: confirm predicted blocks and top
 // up the window; restart the stream on unpredicted misses.
-func (e *Engine) OnAccess(now float64, block isa.Addr, miss bool) []prefetch.Request {
+func (e *Engine) OnAccess(now float64, block isa.Addr, miss bool, dst []prefetch.Request) []prefetch.Request {
 	b := uint64(block) >> isa.BlockShift
-	if _, ok := e.window[b]; ok {
-		delete(e.window, b)
+	if i := e.inWindow(b); i >= 0 {
+		// Unordered removal: the window is a membership set, so swapping
+		// the last element in is equivalent to shifting.
+		last := len(e.window) - 1
+		e.window[i] = e.window[last]
+		e.window = e.window[:last]
+		e.rebuildSig()
 		e.Confirms++
-		return e.advance(0)
+		return e.advance(0, dst)
 	}
 	if !miss {
-		return nil
+		return dst
 	}
 	// Unpredicted miss: restart the stream at this block's last occurrence.
 	e.StreamRestarts++
@@ -184,16 +310,19 @@ func (e *Engine) OnAccess(now float64, block isa.Addr, miss bool) []prefetch.Req
 	if !ok {
 		e.IndexMisses++
 		e.valid = false
-		return nil
+		return dst
 	}
 	e.valid = true
 	e.pos = p
-	clear(e.window)
-	return e.advance(e.restartDelay)
+	e.window = e.window[:0]
+	e.sig = 0
+	return e.advance(e.restartDelay, dst)
 }
 
 // OnRegion implements prefetch.Prefetcher (SHIFT is access-driven).
-func (e *Engine) OnRegion(float64, isa.Addr, int) []prefetch.Request { return nil }
+func (e *Engine) OnRegion(now float64, start isa.Addr, nInstr int, dst []prefetch.Request) []prefetch.Request {
+	return dst
+}
 
 // Redirect implements prefetch.Prefetcher. SHIFT's run-ahead is autonomous
 // — it follows its own history stream, not the BPU — so core redirects do
@@ -201,29 +330,30 @@ func (e *Engine) OnRegion(float64, isa.Addr, int) []prefetch.Request { return ni
 func (e *Engine) Redirect(float64) {}
 
 // advance issues stream blocks until the window holds Lookahead
-// predictions.
-func (e *Engine) advance(extra float64) []prefetch.Request {
+// predictions, appending the requests to dst.
+func (e *Engine) advance(extra float64, dst []prefetch.Request) []prefetch.Request {
 	if !e.valid {
-		return nil
+		return dst
 	}
-	var out []prefetch.Request
+	base := len(dst)
 	for len(e.window) < e.cfg.Lookahead {
 		blk, np, ok := e.h.Next(e.pos)
 		if !ok {
 			break
 		}
 		e.pos = np
-		if _, dup := e.window[blk]; dup {
+		if e.inWindow(blk) >= 0 {
 			continue
 		}
-		e.window[blk] = struct{}{}
-		out = append(out, prefetch.Request{
+		e.window = append(e.window, blk)
+		e.sig |= sigBit(blk)
+		dst = append(dst, prefetch.Request{
 			Block:      isa.Addr(blk) << isa.BlockShift,
-			ExtraDelay: extra + float64(len(out)), // serialized issue
+			ExtraDelay: extra + float64(len(dst)-base), // serialized issue
 		})
 		e.Issued++
 	}
-	return out
+	return dst
 }
 
 // WindowSize returns the current prediction window occupancy (tests).

@@ -93,7 +93,7 @@ func TestEngineReplaysStream(t *testing.T) {
 	}
 	e := NewEngine(Config{HistoryEntries: 256, Lookahead: 4}, h, 10)
 	// A miss on block 100 restarts the stream there.
-	reqs := e.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true)
+	reqs := e.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true, nil)
 	if len(reqs) != 4 {
 		t.Fatalf("issued %d prefetches, want lookahead=4", len(reqs))
 	}
@@ -109,7 +109,7 @@ func TestEngineReplaysStream(t *testing.T) {
 		t.Errorf("StreamRestarts = %d", e.StreamRestarts)
 	}
 	// Confirming the first prediction advances the window by one.
-	more := e.OnAccess(1, isa.Addr(101)<<isa.BlockShift, false)
+	more := e.OnAccess(1, isa.Addr(101)<<isa.BlockShift, false, nil)
 	if len(more) != 1 || uint64(more[0].Block)>>isa.BlockShift != 105 {
 		t.Fatalf("confirmation advance: %+v", more)
 	}
@@ -124,7 +124,7 @@ func TestEngineReplaysStream(t *testing.T) {
 func TestEngineIndexMiss(t *testing.T) {
 	h := NewHistory(64)
 	e := NewEngine(Config{HistoryEntries: 64, Lookahead: 4}, h, 10)
-	if reqs := e.OnAccess(0, 0x4000, true); reqs != nil {
+	if reqs := e.OnAccess(0, 0x4000, true, nil); reqs != nil {
 		t.Errorf("prefetches without history: %v", reqs)
 	}
 	if e.IndexMisses != 1 {
@@ -136,7 +136,7 @@ func TestEngineHitWithoutWindowDoesNothing(t *testing.T) {
 	h := NewHistory(64)
 	h.Record(5)
 	e := NewEngine(Config{HistoryEntries: 64, Lookahead: 4}, h, 10)
-	if reqs := e.OnAccess(0, isa.Addr(5)<<isa.BlockShift, false); reqs != nil {
+	if reqs := e.OnAccess(0, isa.Addr(5)<<isa.BlockShift, false, nil); reqs != nil {
 		t.Error("an L1-I hit must not restart the stream")
 	}
 }
@@ -147,17 +147,17 @@ func TestEngineRestartClearsWindow(t *testing.T) {
 		h.Record(b)
 	}
 	e := NewEngine(Config{HistoryEntries: 256, Lookahead: 4}, h, 10)
-	e.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true)
+	e.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true, nil)
 	if e.WindowSize() != 4 {
 		t.Fatalf("window = %d", e.WindowSize())
 	}
 	// Divergence: a miss on an unpredicted block restarts elsewhere.
-	e.OnAccess(1, isa.Addr(130)<<isa.BlockShift, true)
+	e.OnAccess(1, isa.Addr(130)<<isa.BlockShift, true, nil)
 	if e.WindowSize() != 4 {
 		t.Errorf("window = %d after restart", e.WindowSize())
 	}
 	// The old window must be gone: confirming 101 now does nothing.
-	if reqs := e.OnAccess(2, isa.Addr(101)<<isa.BlockShift, false); reqs != nil {
+	if reqs := e.OnAccess(2, isa.Addr(101)<<isa.BlockShift, false, nil); reqs != nil {
 		t.Error("stale window entry confirmed after restart")
 	}
 }
@@ -168,7 +168,7 @@ func TestEngineRedirectIsIgnored(t *testing.T) {
 		h.Record(b)
 	}
 	e := NewEngine(Config{HistoryEntries: 256, Lookahead: 4}, h, 10)
-	e.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true)
+	e.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true, nil)
 	w := e.WindowSize()
 	e.Redirect(5) // SHIFT is autonomous: core redirects must not disturb it
 	if e.WindowSize() != w {

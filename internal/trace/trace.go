@@ -11,6 +11,7 @@ package trace
 import (
 	"math/rand/v2"
 
+	"confluence/internal/flatmap"
 	"confluence/internal/isa"
 	"confluence/internal/program"
 	"confluence/internal/synth"
@@ -41,23 +42,32 @@ type Record struct {
 // code paths is what defies the L1-I — a single request's working set would
 // often fit.
 type context struct {
-	stack []*program.BasicBlock // return points
-	cur   *program.BasicBlock
+	stack []int32 // return points (ExecNode indices)
+	cur   int32   // current ExecNode index
 	req   int
 	// loopRem tracks active loops' remaining iterations, keyed by the
-	// controlling branch site. The layered call graph forbids recursion, so
-	// a site is active at most once per context.
-	loopRem map[isa.Addr]int
+	// controlling branch site's PC. The layered call graph forbids
+	// recursion, so a site is active at most once per context; only the
+	// loops on the current call path are live at once, so a small flat
+	// table beats a Go map on the every-conditional path.
+	loopRem *flatmap.Map[int32]
 }
 
 // Executor walks a workload's control-flow graph serving an endless stream
 // of concurrent requests, producing Records. It models one core's retire
 // stream. It implements Source (Next never fails and never reaches EOF;
 // Reset replays the identical stream from the construction seed).
+//
+// The walk runs over the program's execution-compiled flat CFG
+// (program.ExecNodes): successor references are array indices rather than
+// pointers, the node array follows code layout order, and nodes are
+// pointer-free — so the dominant sequential control flow reads memory
+// sequentially and the graph costs the garbage collector nothing to scan.
 type Executor struct {
-	w    *synth.Workload
-	seed uint64
-	rng  *rand.Rand
+	w     *synth.Workload
+	nodes []program.ExecNode
+	seed  uint64
+	rng   *rand.Rand
 
 	ctxs    []*context
 	active  int
@@ -72,7 +82,7 @@ type Executor struct {
 
 // NewExecutor creates an executor; seed differentiates cores.
 func NewExecutor(w *synth.Workload, seed uint64) *Executor {
-	e := &Executor{w: w, seed: seed}
+	e := &Executor{w: w, nodes: w.Prog.ExecNodes(), seed: seed}
 	e.init()
 	return e
 }
@@ -88,7 +98,7 @@ func (e *Executor) init() {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
-		c := &context{loopRem: make(map[isa.Addr]int)}
+		c := &context{loopRem: flatmap.New[int32](16)}
 		e.ctxs = append(e.ctxs, c)
 		e.startRequest(c)
 	}
@@ -104,7 +114,7 @@ func (e *Executor) Reset() error {
 
 func (e *Executor) startRequest(c *context) {
 	c.req = e.w.PickRequest(e.rng)
-	c.cur = e.w.Entries[c.req].Entry()
+	c.cur = e.w.Entries[c.req].Entry().Index()
 	c.stack = c.stack[:0]
 	e.Requests++
 }
@@ -134,45 +144,45 @@ func (e *Executor) yield() {
 // walk cannot fail and never ends).
 func (e *Executor) Next(rec *Record) error {
 	c := e.ctxs[e.active]
-	cur := c.cur
+	cur := &e.nodes[c.cur]
 	rec.Start = cur.Addr
-	rec.N = cur.NInstr
+	rec.N = int(cur.NInstr)
 	rec.ReqType = c.req
 	rec.ReqBoundary = e.newRq
 	e.newRq = false
 	e.Instructions += uint64(cur.NInstr)
-	e.quantum -= cur.NInstr
+	e.quantum -= int(cur.NInstr)
 
-	br := cur.Branch
-	if br == nil {
+	kind := cur.BrKind
+	if kind == isa.BrNone {
 		rec.Br = BranchInfo{Kind: isa.BrNone}
 		c.cur = cur.Fall
-		rec.Next = c.cur.Addr
+		rec.Next = e.nodes[c.cur].Addr
 		return nil
 	}
-	info := BranchInfo{PC: br.PC, Kind: br.Kind, Target: br.Target}
-	var next *program.BasicBlock
-	switch br.Kind {
+	info := BranchInfo{PC: cur.BrPC(), Kind: kind, Target: cur.Target}
+	var next int32
+	switch kind {
 	case isa.BrCond:
-		info.Taken = e.condOutcome(c, br)
+		info.Taken = e.condOutcome(c, cur)
 		if info.Taken {
-			next = br.TargetBlock
+			next = cur.TargetNode
 		} else {
 			next = cur.Fall
 		}
 	case isa.BrUncond:
 		info.Taken = true
-		next = br.TargetBlock
+		next = cur.TargetNode
 	case isa.BrCall:
 		info.Taken = true
 		c.stack = append(c.stack, cur.Fall)
-		next = br.TargetBlock
+		next = cur.TargetNode
 	case isa.BrRet:
 		info.Taken = true
 		if n := len(c.stack); n > 0 {
 			next = c.stack[n-1]
 			c.stack = c.stack[:n-1]
-			info.Target = next.Addr
+			info.Target = e.nodes[next].Addr
 		} else {
 			// Top of the (implicit) server dispatch loop: the request is
 			// complete; this connection picks up its next request, and the
@@ -181,28 +191,28 @@ func (e *Executor) Next(rec *Record) error {
 			e.yield()
 			c = e.ctxs[e.active]
 			next = c.cur
-			info.Target = next.Addr
+			info.Target = e.nodes[next].Addr
 			e.newRq = true
 		}
 	case isa.BrIndirect, isa.BrIndCall:
 		info.Taken = true
-		next = e.pickIndirect(c, br)
-		info.Target = next.Addr
-		if br.Kind == isa.BrIndCall {
+		next = e.pickIndirect(c, cur)
+		info.Target = e.nodes[next].Addr
+		if kind == isa.BrIndCall {
 			c.stack = append(c.stack, cur.Fall)
 		}
 	}
 	rec.Br = info
 	c.cur = next
-	rec.Next = next.Addr
+	rec.Next = e.nodes[next].Addr
 
 	// Quantum expiry: switch connections at the next request-safe point
 	// (only between basic blocks, and never mid-record).
-	if e.quantum <= 0 && br.Kind != isa.BrRet {
+	if e.quantum <= 0 && kind != isa.BrRet {
 		e.yield()
 		nc := e.ctxs[e.active]
 		if nc != c {
-			rec.Next = nc.cur.Addr
+			rec.Next = e.nodes[nc.cur].Addr
 			// The architectural redirect to another context's PC looks like
 			// an OS scheduling event; mark it as a request boundary for the
 			// stream consumers.
@@ -215,32 +225,34 @@ func (e *Executor) Next(rec *Record) error {
 // condOutcome resolves a conditional branch. Loop-controlling sites run a
 // quasi-deterministic iteration counter (the site's characteristic trip
 // count with occasional jitter); other conditionals are biased coin flips.
-func (e *Executor) condOutcome(c *context, br *program.BranchSite) bool {
+func (e *Executor) condOutcome(c *context, br *program.ExecNode) bool {
 	switch br.Loop {
 	case program.LoopExitHeader:
 		// Header visited before each iteration and once more to exit;
 		// taken means exit.
-		rem, active := c.loopRem[br.PC]
+		p, active := c.loopRem.Upsert(uint64(br.BrPC()))
+		rem := *p
 		if !active {
-			rem = e.drawTrips(br)
+			rem = int32(e.drawTrips(br))
 		}
 		if rem == 0 {
-			delete(c.loopRem, br.PC)
+			c.loopRem.Delete(uint64(br.BrPC()))
 			return true
 		}
-		c.loopRem[br.PC] = rem - 1
+		*p = rem - 1
 		return false
 	case program.LoopBackEdge:
 		// Back edge visited after each body pass; taken means continue.
-		rem, active := c.loopRem[br.PC]
+		p, active := c.loopRem.Upsert(uint64(br.BrPC()))
+		rem := *p
 		if !active {
-			rem = e.drawTrips(br) - 1 // one pass already done
+			rem = int32(e.drawTrips(br)) - 1 // one pass already done
 		}
 		if rem <= 0 {
-			delete(c.loopRem, br.PC)
+			c.loopRem.Delete(uint64(br.BrPC()))
 			return false
 		}
-		c.loopRem[br.PC] = rem - 1
+		*p = rem - 1
 		return true
 	default:
 		return e.rng.Float64() < br.TakenBias
@@ -251,8 +263,8 @@ func (e *Executor) condOutcome(c *context, br *program.BranchSite) bool {
 // site's characteristic count (loop bounds recur across requests, which is
 // what makes both the direction predictor and SHIFT's temporal streams
 // effective), with occasional ±1 data-dependent jitter.
-func (e *Executor) drawTrips(br *program.BranchSite) int {
-	t := br.TripMean
+func (e *Executor) drawTrips(br *program.ExecNode) int {
+	t := int(br.TripMean)
 	if e.rng.Float64() < 0.05 {
 		t += e.rng.IntN(3) - 1
 	}
@@ -265,13 +277,13 @@ func (e *Executor) drawTrips(br *program.BranchSite) int {
 // pickIndirect resolves an indirect site: with probability
 // IndirectStability the per-(site,request-type) stable target, otherwise a
 // uniformly random table entry (data-dependent dispatch).
-func (e *Executor) pickIndirect(c *context, br *program.BranchSite) *program.BasicBlock {
-	tb := br.TargetBlocks
+func (e *Executor) pickIndirect(c *context, br *program.ExecNode) int32 {
+	tb := e.w.Prog.IndirectTargets(br)
 	if len(tb) == 1 {
 		return tb[0]
 	}
 	if e.rng.Float64() < e.w.IndirectStability() {
-		return tb[stableIndex(uint64(br.PC), uint64(c.req), len(tb))]
+		return tb[stableIndex(uint64(br.BrPC()), uint64(c.req), len(tb))]
 	}
 	return tb[e.rng.IntN(len(tb))]
 }
