@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json fmt vet cover fuzz ci
+.PHONY: all build test race bench bench-json fmt vet cover fuzz examples ci
 
 all: build test
 
@@ -58,6 +58,12 @@ fuzz:
 	go test ./internal/trace -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime=$(FUZZTIME)
 	go test ./internal/trace -run '^$$' -fuzz FuzzReaderCorrupt -fuzztime=$(FUZZTIME)
 
+# examples runs every runnable example end to end (tiny scales), the smoke
+# test that keeps them honest; mirrors the CI examples step.
+examples:
+	go run ./examples/quickstart
+	go run ./examples/consolidation_study
+
 # `cover` runs the full `go test ./...` suite itself, so ci does not also
 # depend on the plain `test` target (race is the only second full pass).
-ci: fmt vet build cover race bench fuzz
+ci: fmt vet build cover examples race bench fuzz

@@ -1,0 +1,138 @@
+package confluence
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confluence/internal/core"
+)
+
+// TestRunPreservesPartialOptions is the regression test for the lossy
+// Options swap: Run used to replace the whole Options with DefaultOptions()
+// whenever Options.Cores was zero, silently discarding a caller's custom
+// tuning (everything but Sources). A partially-specified Options must
+// behave exactly like the same tuning spelled out on top of
+// DefaultOptions().
+func TestRunPreservesPartialOptions(t *testing.T) {
+	w := mixTestWorkload(t, 0)
+	run := func(opt Options) *Result {
+		res, err := Run(Config{
+			Workload: w, Design: Confluence, Cores: 2, Options: opt,
+			WarmupInstr: 30_000, MeasureInstr: 60_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Partial: only the ablation knob set, Options.Cores left zero.
+	var partial Options
+	partial.HistoryPerCore = true
+	// Explicit: the same tuning on top of the full default options.
+	explicit := core.DefaultOptions()
+	explicit.HistoryPerCore = true
+
+	def := run(Options{})
+	got, want := run(partial), run(explicit)
+	if *got.Stats != *want.Stats {
+		t.Errorf("partially-specified Options diverged from the explicit equivalent:\n  %+v\nvs\n  %+v",
+			*got.Stats, *want.Stats)
+	}
+	// Guard that the preserved knob actually matters (otherwise this test
+	// would pass vacuously even if the option were dropped).
+	if *got.Stats == *def.Stats {
+		t.Error("HistoryPerCore had no effect; the regression guard is vacuous")
+	}
+
+	// Sub-config fields survive too: a lone Shift.Lookahead must not be
+	// wholesale-replaced because Shift.HistoryEntries was left zero.
+	var partialSub Options
+	partialSub.Shift.Lookahead = 4
+	explicitSub := core.DefaultOptions()
+	explicitSub.Shift.Lookahead = 4
+	gotSub, wantSub := run(partialSub), run(explicitSub)
+	if *gotSub.Stats != *wantSub.Stats {
+		t.Errorf("partially-specified Shift config diverged from the explicit equivalent:\n  %+v\nvs\n  %+v",
+			*gotSub.Stats, *wantSub.Stats)
+	}
+	if *gotSub.Stats == *def.Stats {
+		t.Error("Shift.Lookahead had no effect; the sub-config guard is vacuous")
+	}
+}
+
+// TestNoWarmup is the regression test for the warmup sentinel:
+// Config.WarmupInstr == 0 means "default 1.5M", which made a genuinely
+// warmup-free run impossible to request. Config.NoWarmup is the escape
+// hatch and must match a core-level run with a zero-length warmup phase
+// bit-exactly.
+func TestNoWarmup(t *testing.T) {
+	w := mixTestWorkload(t, 0)
+	res, err := Run(Config{
+		Workload: w, Design: Confluence, Cores: 2,
+		NoWarmup: true, MeasureInstr: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := core.DefaultOptions()
+	opt.Cores = 2
+	sys, err := core.NewSystem(w, core.Confluence, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	want, err := sys.Run(0, 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Stats != *want {
+		t.Errorf("NoWarmup run diverged from a zero-warmup core run:\n  %+v\nvs\n  %+v",
+			*res.Stats, *want)
+	}
+
+	// And it must differ from a warmed run: cold caches show up in the
+	// measurement window.
+	warmed, err := Run(Config{
+		Workload: w, Design: Confluence, Cores: 2,
+		WarmupInstr: 30_000, MeasureInstr: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Stats == *warmed.Stats {
+		t.Error("NoWarmup run identical to a warmed run")
+	}
+}
+
+// TestWorkloadFromTraceValidatesAllFiles is the regression test for
+// validate-only-the-first-file: a capture directory with a corrupt second
+// file must fail at WorkloadFromTrace, not mid-simulation.
+func TestWorkloadFromTraceValidatesAllFiles(t *testing.T) {
+	w := mixTestWorkload(t, 0)
+	dir := t.TempDir()
+	if err := CaptureTrace(w, dir, 2, 5_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// The intact capture validates.
+	if _, err := WorkloadFromTrace(dir); err != nil {
+		t.Fatalf("valid capture rejected: %v", err)
+	}
+
+	// Corrupt the second file's header; the first stays valid.
+	second := filepath.Join(dir, "core-001.trace")
+	if err := os.WriteFile(second, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := WorkloadFromTrace(dir)
+	if err == nil {
+		t.Fatal("capture with corrupt second file accepted")
+	}
+	if !strings.Contains(err.Error(), "core-001.trace") {
+		t.Errorf("error does not name the corrupt file: %v", err)
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	confluence-sim [-scale small|default|paper] [-workers N] [-run fig1,table2,fig6,...] [-v]
 //	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
+//	confluence-sim -mix OLTP-DB2,Web-Frontend [-scale ...]
 //
 // The default runs everything at the "default" scale (8 cores, 3M
 // instructions per core), fanning independent simulation cells out across
@@ -18,6 +19,13 @@
 // capture's source workload with -trace-workload restores its program
 // image and timing calibration, making the replay bit-identical to the
 // live run that produced the capture.
+//
+// With -mix, the binary consolidates the named workloads onto one CMP
+// (core i runs workload i mod N) and runs the consolidation study on that
+// single mix: the history-sharing design points, each with the
+// shared-vs-private SHIFT history ablation, reported as harmonic-mean IPC
+// and weighted speedup against each workload running alone. The full 2-,
+// 4-, and 5-workload sweep runs as the `mixstudy` experiment.
 package main
 
 import (
@@ -35,11 +43,12 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
-	runFlag := flag.String("run", "all", "comma-separated experiments: fig1,table2,fig2,fig6,fig7,fig8,fig9,fig10,ablations,all")
+	runFlag := flag.String("run", "all", "comma-separated experiments: fig1,table2,fig2,fig6,fig7,fig8,fig9,fig10,ablations,mixstudy,all")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	traceDir := flag.String("trace", "", "replay a capture directory through the timing model instead of the synthetic suite")
 	traceWorkload := flag.String("trace-workload", "", "workload the capture was taken from (restores program image + calibration)")
+	mixFlag := flag.String("mix", "", "comma-separated workload names: run the consolidation study on this mix (core i runs workload i mod N)")
 	flag.Parse()
 
 	sc := experiments.ScaleFromEnv()
@@ -56,6 +65,12 @@ func main() {
 
 	if *traceDir != "" {
 		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *mixFlag != "" {
+		if err := runMix(ctx, sc, *mixFlag, *workers, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -136,6 +151,13 @@ func main() {
 		}
 		fmt.Println(experiments.Figure10Table(rows))
 	}
+	if pick("mixstudy") {
+		rows, err := r.MixStudy(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.MixStudyTable(rows))
+	}
 	if pick("ablations") {
 		rows, err := r.LookaheadSweep(ctx, []int{4, 8, 20, 32})
 		if err != nil {
@@ -192,6 +214,31 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName st
 		fmt.Printf("%-18s %7.3f %8.1f %8.1f %8.2fx\n",
 			dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI(), st.IPC()/base)
 	}
+	return nil
+}
+
+// runMix runs the consolidation study on one explicit workload mix.
+func runMix(ctx context.Context, sc experiments.Scale, spec string, workers int, verbose bool) error {
+	var mix []*confluence.Workload
+	for _, name := range strings.Split(spec, ",") {
+		w, err := confluence.BuildWorkload(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		mix = append(mix, w)
+	}
+	r := experiments.NewRunnerFor(sc, nil)
+	r.Workers = workers
+	if verbose {
+		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+	fmt.Printf("consolidating %s onto %d cores (core i runs workload i mod %d), warmup=%d measure=%d per core\n\n",
+		experiments.MixName(mix), sc.Cores, len(mix), sc.Warmup, sc.Measure)
+	rows, err := r.MixStudyFor(ctx, [][]*confluence.Workload{mix}, experiments.MixStudyDesigns())
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.MixStudyTable(rows))
 	return nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"confluence/internal/experiments"
 	"confluence/internal/frontend"
 	"confluence/internal/parallel"
+	"confluence/internal/stats"
 	"confluence/internal/synth"
 	"confluence/internal/trace"
 )
@@ -126,17 +127,19 @@ func WorkloadFromTrace(path string) (*Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("confluence: %w", err)
 	}
-	// Validate the first capture eagerly so a bad path fails here, not
-	// mid-simulation.
-	src, err := trace.OpenFileSource(files[0], 0)
-	if err != nil {
-		return nil, fmt.Errorf("confluence: %w", err)
-	}
-	var rec trace.Record
-	rerr := src.Next(&rec)
-	src.Close()
-	if rerr != nil {
-		return nil, fmt.Errorf("confluence: validating %s: %w", files[0], rerr)
+	// Validate every capture eagerly so a corrupt file — any file, since
+	// cores stripe across all of them — fails here, not mid-simulation.
+	for _, f := range files {
+		src, err := trace.OpenFileSource(f, 0)
+		if err != nil {
+			return nil, fmt.Errorf("confluence: %w", err)
+		}
+		var rec trace.Record
+		rerr := src.Next(&rec)
+		src.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("confluence: validating %s: %w", f, rerr)
+		}
 	}
 	prof := synth.TraceProfile("trace:" + filepath.Base(path))
 	return &Workload{Prof: prof, TraceDir: path}, nil
@@ -180,14 +183,31 @@ func captureCore(w *Workload, path string, seed, instr uint64) error {
 
 // Config describes one simulation.
 type Config struct {
+	// Workload runs on every core — the paper's homogeneous configuration.
+	// Exactly one of Workload and Mix must be set.
 	Workload *Workload
-	Design   DesignPoint
+	// Mix consolidates heterogeneous workloads onto one CMP: core i runs
+	// Mix[i mod len(Mix)], with its own program image, predecode metadata,
+	// and timing calibration. Each mix slot occupies a distinct address
+	// space, so shared structures (the LLC, SHIFT's history, PhantomBTB's
+	// group store) are stressed by the combined footprint without false
+	// aliasing between programs. A mix of N copies of one workload (same
+	// pointer or rebuilt from the same profile) is bit-identical to the
+	// homogeneous run of that workload.
+	Mix []*Workload
+	// Design selects the frontend configuration.
+	Design DesignPoint
 	// Cores is the CMP width (default 16, the paper's configuration).
 	Cores int
-	// WarmupInstr/MeasureInstr are per-core instruction counts (defaults:
-	// 1.5M each).
+	// WarmupInstr/MeasureInstr are per-core instruction counts. Zero is a
+	// sentinel selecting the default (1.5M each) — it does NOT request a
+	// zero-length warmup; set NoWarmup to measure from cold state.
 	WarmupInstr  uint64
 	MeasureInstr uint64
+	// NoWarmup skips the warmup phase entirely (WarmupInstr is ignored),
+	// measuring from cold caches, predictors, and history — the escape
+	// hatch from WarmupInstr's zero-means-default sentinel.
+	NoWarmup bool
 	// TraceDir, when non-empty, replays the capture in that directory
 	// through the timing model instead of executing the workload live: core
 	// i replays file i mod F (sorted by name) with a deterministic record
@@ -211,6 +231,10 @@ type Config struct {
 type Result struct {
 	Config Config
 	Stats  *Stats
+	// PerCore is each core's measured stats, in core order (core i ran
+	// Config.Mix[i mod len(Mix)], or the single Workload). Stats is the
+	// in-order sum of these.
+	PerCore []*Stats
 	// OverheadMM2 and RelativeArea place the design on the paper's
 	// performance/area plane.
 	OverheadMM2  float64
@@ -219,34 +243,48 @@ type Result struct {
 
 // Run assembles and simulates one design point.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Workload == nil {
-		return nil, fmt.Errorf("confluence: Config.Workload is required")
+	mix := cfg.Mix
+	switch {
+	case len(mix) == 0 && cfg.Workload == nil:
+		return nil, fmt.Errorf("confluence: Config.Workload or Config.Mix is required")
+	case len(mix) > 0 && cfg.Workload != nil:
+		return nil, fmt.Errorf("confluence: Config.Workload and Config.Mix are mutually exclusive")
+	case len(mix) == 0:
+		mix = []*Workload{cfg.Workload}
+	}
+	for _, w := range mix {
+		if w == nil {
+			return nil, fmt.Errorf("confluence: nil workload in Config.Mix")
+		}
 	}
 	opt := cfg.Options
 	if opt.Cores == 0 {
-		// Zero-value tuning selects the paper's configuration, but an
-		// explicit source override must survive the swap.
-		src := opt.Sources
-		opt = core.DefaultOptions()
-		opt.Sources = src
+		// Only the CMP width needs defaulting here: core.NewMixSystem
+		// field-defaults the remaining tuning, so a caller's
+		// partially-specified Options (custom AirBTB geometry, private
+		// histories, ...) survives intact.
+		opt.Cores = core.DefaultOptions().Cores
 	}
 	if cfg.Cores > 0 {
 		opt.Cores = cfg.Cores
 	}
-	if cfg.WarmupInstr == 0 {
+	switch {
+	case cfg.NoWarmup:
+		cfg.WarmupInstr = 0
+	case cfg.WarmupInstr == 0:
 		cfg.WarmupInstr = 1_500_000
 	}
 	if cfg.MeasureInstr == 0 {
 		cfg.MeasureInstr = 1_500_000
 	}
 	// Options.Sources is the most specific override and wins everywhere
-	// (core.NewSystem resolves it first too); TraceDir then beats the
-	// workload's own supply.
+	// (core.NewMixSystem resolves it first too); TraceDir then beats the
+	// workloads' own supply.
 	if cfg.TraceDir != "" && opt.Sources == nil {
 		dir := cfg.TraceDir
 		opt.Sources = func(i int) (trace.Source, error) { return trace.OpenDirSource(dir, i) }
 	}
-	sys, err := core.NewSystem(cfg.Workload, cfg.Design, opt)
+	sys, err := core.NewMixSystem(mix, cfg.Design, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -258,9 +296,38 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{
 		Config:       cfg,
 		Stats:        st,
+		PerCore:      sys.PerCoreSnapshot(),
 		OverheadMM2:  sys.OverheadMM2,
 		RelativeArea: sys.RelativeArea,
 	}, nil
+}
+
+// HarmonicMeanIPC returns the harmonic mean of the cores' IPCs — the
+// multi-programmed throughput metric that weights every core's progress
+// equally (a stalled core drags the mean toward zero).
+func HarmonicMeanIPC(per []*Stats) float64 {
+	ipc := make([]float64, len(per))
+	for i, st := range per {
+		ipc[i] = st.IPC()
+	}
+	return stats.HarmonicMean(ipc)
+}
+
+// WeightedSpeedup returns the mean of per-core IPC ratios mix[i]/alone[i]:
+// each core's progress under consolidation relative to the same core
+// running its workload homogeneously. Both slices are in core order and
+// must have equal length.
+func WeightedSpeedup(mix, alone []*Stats) (float64, error) {
+	if len(mix) != len(alone) {
+		return 0, fmt.Errorf("confluence: WeightedSpeedup: %d mix cores vs %d baseline cores", len(mix), len(alone))
+	}
+	m := make([]float64, len(mix))
+	a := make([]float64, len(alone))
+	for i := range mix {
+		m[i] = mix[i].IPC()
+		a[i] = alone[i].IPC()
+	}
+	return stats.WeightedSpeedup(m, a), nil
 }
 
 // DefaultParallelism returns the simulation fan-out used when a Config's

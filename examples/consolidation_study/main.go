@@ -1,0 +1,81 @@
+// Consolidation study: consolidate two heterogeneous server workloads onto
+// one CMP (core i runs Mix[i mod 2]) and measure what sharing one
+// LLC-virtualized SHIFT history across competing control-flow footprints
+// costs, against the per-core private-history ablation and against each
+// workload running the machine alone.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"confluence"
+)
+
+const cores = 4
+
+func main() {
+	var mix []*confluence.Workload
+	for _, name := range []string{"OLTP-DB2", "Web-Frontend"} {
+		w, err := confluence.BuildWorkload(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = append(mix, w)
+	}
+
+	base := confluence.Config{
+		Mix: mix, Design: confluence.Confluence, Cores: cores,
+		WarmupInstr: 400_000, MeasureInstr: 400_000,
+	}
+	shared, private := base, base
+	// A partially-specified Options survives Run's defaulting: only the
+	// history placement changes, everything else stays the paper's config.
+	private.Options.HistoryPerCore = true
+
+	// The two mix variants, plus each workload running the CMP alone (the
+	// weighted-speedup baseline), fanned out across CPUs.
+	cfgs := []confluence.Config{shared, private}
+	for _, w := range mix {
+		solo := base
+		solo.Mix = nil
+		solo.Workload = w
+		cfgs = append(cfgs, solo)
+	}
+	results, err := confluence.RunMany(context.Background(), 0, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh, pr, alone := results[0], results[1], results[2:]
+
+	fmt.Printf("consolidation on %d cores: core i runs Mix[i mod %d]\n\n", cores, len(mix))
+	fmt.Printf("%-4s %-16s %12s %13s %10s\n", "core", "workload", "IPC shared", "IPC private", "IPC alone")
+	for i, st := range sh.PerCore {
+		w := mix[i%len(mix)]
+		fmt.Printf("%-4d %-16s %12.3f %13.3f %10.3f\n",
+			i, w.Prof.Name, st.IPC(), pr.PerCore[i].IPC(), alone[i%len(mix)].PerCore[i].IPC())
+	}
+
+	// Per-core baselines in core order: core i alone ran its own workload.
+	aloneByCore := make([]*confluence.Stats, cores)
+	for i := range aloneByCore {
+		aloneByCore[i] = alone[i%len(mix)].PerCore[i]
+	}
+	wsShared, err := confluence.WeightedSpeedup(sh.PerCore, aloneByCore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wsPrivate, err := confluence.WeightedSpeedup(pr.PerCore, aloneByCore)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-28s %10s %10s\n", "", "shared", "private")
+	fmt.Printf("%-28s %10.3f %10.3f\n", "harmonic-mean IPC",
+		confluence.HarmonicMeanIPC(sh.PerCore), confluence.HarmonicMeanIPC(pr.PerCore))
+	fmt.Printf("%-28s %10.3f %10.3f\n", "weighted speedup vs alone", wsShared, wsPrivate)
+	fmt.Printf("%-28s %10.2f %10.2f\n", "L1-I MPKI", sh.Stats.L1IMPKI(), pr.Stats.L1IMPKI())
+	fmt.Printf("\nsharing one SHIFT history across the mix costs %.1f%% weighted speedup\n",
+		100*(wsPrivate-wsShared)/wsPrivate)
+}

@@ -101,11 +101,25 @@ func (s *System) Close() error {
 	return first
 }
 
-// PerCoreStats returns each core's measured stats (diagnostics).
+// PerCoreStats returns each core's measured stats (diagnostics). The
+// pointers alias the live cores; use PerCoreSnapshot for results that
+// outlive the system.
 func (s *System) PerCoreStats() []*frontend.Stats {
 	out := make([]*frontend.Stats, len(s.Cores))
 	for i, c := range s.Cores {
 		out[i] = c.Stats()
+	}
+	return out
+}
+
+// PerCoreSnapshot returns a copy of each core's measured stats, detached
+// from the live cores (safe to retain after Close). The aggregate Run
+// returns is the in-order sum of exactly these snapshots.
+func (s *System) PerCoreSnapshot() []*frontend.Stats {
+	out := make([]*frontend.Stats, len(s.Cores))
+	for i, c := range s.Cores {
+		st := *c.Stats()
+		out[i] = &st
 	}
 	return out
 }

@@ -22,6 +22,7 @@ import (
 	"confluence/internal/cmp"
 	"confluence/internal/fdp"
 	"confluence/internal/frontend"
+	"confluence/internal/isa"
 	"confluence/internal/mem"
 	"confluence/internal/phantom"
 	"confluence/internal/prefetch"
@@ -115,7 +116,12 @@ func (d DesignPoint) UsesFDP() bool {
 // simulation.
 type SourceProvider func(coreID int) (trace.Source, error)
 
-// Options tunes system assembly.
+// Options tunes system assembly. Zero-valued fields default to the paper's
+// configuration field by field, so a partially-specified Options (say, only
+// Shift.Lookahead set) keeps its explicit values and inherits the rest. The
+// one zero that is meaningful rather than a sentinel: Air.OverflowEntries
+// disables the overflow buffer (Fig 10's ablation) whenever any other Air
+// field is set; only an entirely-zero Air selects the full paper default.
 type Options struct {
 	Cores           int           // CMP size (paper: 16)
 	Air             airbtb.Config // AirBTB geometry (Fig 10 sensitivity)
@@ -144,8 +150,11 @@ func DefaultOptions() Options {
 // System is an assembled CMP plus design metadata.
 type System struct {
 	*cmp.System
-	Design   DesignPoint
-	Workload *synth.Workload
+	Design DesignPoint
+	// Workload is the first mix slot's workload (the whole workload of a
+	// homogeneous system); Workloads lists every mix slot.
+	Workload  *synth.Workload
+	Workloads []*synth.Workload
 	// OverheadMM2 is the per-core silicon added relative to the Base1K
 	// frontend; RelativeArea the Figs 2/6 x-axis value.
 	OverheadMM2  float64
@@ -157,37 +166,110 @@ type System struct {
 	AirBTBs      []*airbtb.AirBTB
 }
 
-// NewSystem assembles a CMP running workload w under design point dp.
+// NewSystem assembles a CMP running workload w on every core under design
+// point dp.
 func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) {
+	return NewMixSystem([]*synth.Workload{w}, dp, opt)
+}
+
+// NewMixSystem assembles a consolidated CMP: core i runs mix[i mod
+// len(mix)], with its own program image, predecode metadata, timing
+// calibration, and instruction source. Each mix slot occupies a distinct
+// tagged address space (isa.ASIDBase), so structures shared across cores —
+// the LLC, SHIFT's history, PhantomBTB's group store — are stressed by the
+// mix's combined footprint without false aliasing between programs.
+// Entries that are the same generated program (equal Profile and TraceDir
+// — repeated references or independent rebuilds alike) share a slot, so a
+// mix of N copies of one workload is bit-identical to the homogeneous
+// system NewSystem builds.
+//
+// Under a shared SHIFT history, each distinct workload's first core is a
+// history generator, so every workload's control flow is represented in
+// the shared buffer; the paper's single-generator configuration is the
+// single-workload special case.
+func NewMixSystem(mix []*synth.Workload, dp DesignPoint, opt Options) (*System, error) {
 	if opt.Cores <= 0 {
 		return nil, fmt.Errorf("core: need at least one core")
 	}
-	if opt.Air.Bundles == 0 {
-		opt.Air = airbtb.DefaultConfig()
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("core: empty workload mix")
 	}
+	if len(mix) > opt.Cores {
+		// With fewer cores than mix slots some workloads would silently
+		// never run — reject instead of reporting a misleading consolidation.
+		return nil, fmt.Errorf("core: %d-workload mix cannot consolidate onto %d cores", len(mix), opt.Cores)
+	}
+	for _, w := range mix {
+		if w == nil {
+			return nil, fmt.Errorf("core: nil workload in mix")
+		}
+		if opt.Sources == nil && w.TraceDir == "" && w.Prog == nil {
+			return nil, fmt.Errorf("core: workload %q has no program and no trace to replay", w.Prof.Name)
+		}
+	}
+	// Field-wise defaulting: explicit values in a partially-specified
+	// sub-config survive (see the Options doc for Air.OverflowEntries, the
+	// one meaningful zero).
+	if defAir := airbtb.DefaultConfig(); opt.Air == (airbtb.Config{}) {
+		opt.Air = defAir
+	} else {
+		if opt.Air.Bundles == 0 {
+			opt.Air.Bundles = defAir.Bundles
+		}
+		if opt.Air.EntriesPerBundle == 0 {
+			opt.Air.EntriesPerBundle = defAir.EntriesPerBundle
+		}
+	}
+	defShift := shift.DefaultConfig()
 	if opt.Shift.HistoryEntries == 0 {
-		opt.Shift = shift.DefaultConfig()
+		opt.Shift.HistoryEntries = defShift.HistoryEntries
 	}
+	if opt.Shift.Lookahead == 0 {
+		opt.Shift.Lookahead = defShift.Lookahead
+	}
+	defFDP := fdp.DefaultConfig()
 	if opt.FDP.QueueDepth == 0 {
-		opt.FDP = fdp.DefaultConfig()
+		opt.FDP.QueueDepth = defFDP.QueueDepth
+	}
+	if opt.FDP.CyclesPerBB == 0 {
+		opt.FDP.CyclesPerBB = defFDP.CyclesPerBB
 	}
 
 	sources := opt.Sources
 	if sources == nil {
-		switch {
-		case w.TraceDir != "":
-			dir := w.TraceDir
-			sources = func(i int) (trace.Source, error) { return trace.OpenDirSource(dir, i) }
-		case w.Prog != nil:
-			sources = func(i int) (trace.Source, error) {
-				return trace.NewExecutor(w, trace.CoreSeed(w.Prof.Seed, i)), nil
+		sources = func(i int) (trace.Source, error) {
+			w := mix[i%len(mix)]
+			if w.TraceDir != "" {
+				return trace.OpenDirSource(w.TraceDir, i)
 			}
-		default:
-			return nil, fmt.Errorf("core: workload %q has no program and no trace to replay", w.Prof.Name)
+			return trace.NewExecutor(w, trace.CoreSeed(w.Prof.Seed, i)), nil
 		}
 	}
 
-	sys := &System{Design: dp, Workload: w}
+	// slotOf[i] is mix entry i's address-space slot: distinct workloads get
+	// distinct slots in first-appearance order, while entries that are the
+	// same generated program share a slot — so a mix of N copies of one
+	// workload (same pointer or independently rebuilt from the same
+	// profile; generation is deterministic) collapses to one address space,
+	// one history generator, and all-zero tags, exactly the homogeneous
+	// system.
+	type workloadIdentity struct {
+		prof synth.Profile
+		dir  string
+	}
+	slotOf := make([]int, len(mix))
+	seen := make(map[workloadIdentity]int, len(mix))
+	for i, w := range mix {
+		id := workloadIdentity{prof: w.Prof, dir: w.TraceDir}
+		s, ok := seen[id]
+		if !ok {
+			s = len(seen)
+			seen[id] = s
+		}
+		slotOf[i] = s
+	}
+
+	sys := &System{Design: dp, Workload: mix[0], Workloads: mix}
 
 	// Memory hierarchy: reserve LLC capacity for virtualized metadata.
 	reserved := 0
@@ -212,12 +294,16 @@ func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) 
 		sys.History = history
 	}
 
-	prof := w.Prof
 	cores := make([]*frontend.Core, opt.Cores)
 	srcs := make([]trace.Source, opt.Cores)
+	generated := make([]bool, len(seen)) // slots with a history generator
 	for i := 0; i < opt.Cores; i++ {
+		slot := slotOf[i%len(mix)]
+		w := mix[i%len(mix)]
+		prof := w.Prof
 		cfg := frontend.DefaultConfig()
 		cfg.CoreID = i
+		cfg.ASID = slot
 		cfg.BackendCPI = prof.BackendCPI
 		cfg.Exposure = prof.Exposure
 		cfg.Hier = hier
@@ -230,7 +316,7 @@ func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) 
 		case Base1K, FDP1K, Base1KSHIFT:
 			cfg.BTB = btb.NewConventional("Conv1K", 256, 4, 64)
 		case PhantomFDP, PhantomSHIFT:
-			cfg.BTB = phantom.New("PhantomBTB", 256, 4, 64, store, metaLat)
+			cfg.BTB = phantom.NewASID("PhantomBTB", 256, 4, 64, store, metaLat, isa.ASIDBase(slot))
 		case TwoLevelFDP, TwoLevelSHIFT:
 			cfg.BTB = btb.NewTwoLevel("2LevelBTB", 256, 4, 2048, 8, 3)
 		case IdealBTBSHIFT:
@@ -267,8 +353,11 @@ func NewSystem(w *synth.Workload, dp DesignPoint, opt Options) (*System, error) 
 					sys.History = h
 				}
 			}
-			cfg.Prefetcher = shift.NewEngine(opt.Shift, h, metaLat)
-			if i == 0 || opt.HistoryPerCore {
+			cfg.Prefetcher = shift.NewEngineASID(opt.Shift, h, metaLat, isa.ASIDBase(slot))
+			// One generator per distinct workload (its first core); with
+			// private histories every core records its own.
+			if !generated[slot] || opt.HistoryPerCore {
+				generated[slot] = true
 				cfg.Recorder = h
 			}
 		case dp.UsesFDP():

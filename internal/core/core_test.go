@@ -245,3 +245,109 @@ func TestZeroCoresRejected(t *testing.T) {
 		t.Error("zero cores accepted")
 	}
 }
+
+// testWorkloadB builds a second, distinct program for mix tests.
+func testWorkloadB(t *testing.T) *synth.Workload {
+	t.Helper()
+	p := synth.WebFrontend()
+	p.Functions = 900
+	p.RequestTypes = 6
+	p.Concurrency = 8
+	p.Seed = 77
+	w, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestNewMixSystem covers consolidated assembly: per-core workload
+// identity (calibration, program image, sources) and the validation
+// contract.
+func TestNewMixSystem(t *testing.T) {
+	a, b := testWorkload(t), testWorkloadB(t)
+	opt := DefaultOptions()
+	opt.Cores = 4
+	sys, err := NewMixSystem([]*synth.Workload{a, b}, Confluence, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Workload != a || len(sys.Workloads) != 2 {
+		t.Errorf("workload bookkeeping: first=%v n=%d", sys.Workload.Prof.Name, len(sys.Workloads))
+	}
+	st := mustRun(t, sys, 50_000, 100_000)
+	if st.Instructions == 0 {
+		t.Fatal("mixed system executed nothing")
+	}
+	per := sys.PerCoreSnapshot()
+	if len(per) != 4 {
+		t.Fatalf("%d per-core stats", len(per))
+	}
+	// Cores 0 and 2 ran workload a, cores 1 and 3 ran b: the profiles
+	// differ (branch mix, backend CPI), so slot stats must differ while
+	// same-slot cores stay plausibly close.
+	if per[0].CondBranches == per[1].CondBranches {
+		t.Error("distinct workloads produced identical branch populations")
+	}
+	var sum frontend.Stats
+	for _, p := range per {
+		sum.Add(p)
+	}
+	if sum != *st {
+		t.Error("per-core snapshots do not sum to the aggregate")
+	}
+
+	// Validation.
+	if _, err := NewMixSystem(nil, Confluence, opt); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := NewMixSystem([]*synth.Workload{a, nil}, Confluence, opt); err == nil {
+		t.Error("nil mix entry accepted")
+	}
+}
+
+// TestMixSharedHistoryHasGeneratorPerWorkload pins the generator policy:
+// consolidating two workloads under a shared history must record both
+// control-flow streams (each distinct workload's first core generates),
+// while N references to one workload keep the paper's single generator.
+func TestMixSharedHistoryHasGeneratorPerWorkload(t *testing.T) {
+	a, b := testWorkload(t), testWorkloadB(t)
+	opt := DefaultOptions()
+	opt.Cores = 4
+
+	het, err := NewMixSystem([]*synth.Workload{a, b}, Confluence, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer het.Close()
+	mustRun(t, het, 20_000, 20_000)
+	// Both tags must appear in the shared history buffer.
+	tags := map[uint64]bool{}
+	for pos := 0; pos < het.History.Len(); pos++ {
+		blk, _, ok := het.History.Next(pos - 1)
+		if !ok {
+			break
+		}
+		tags[blk>>(isa.ASIDShift-isa.BlockShift)] = true
+	}
+	if !tags[0] || !tags[1] {
+		t.Errorf("shared history holds tags %v, want both slot 0 and slot 1", tags)
+	}
+
+	homog, err := NewMixSystem([]*synth.Workload{a, a}, Confluence, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer homog.Close()
+	mustRun(t, homog, 20_000, 20_000)
+	for pos := 0; pos < homog.History.Len(); pos++ {
+		blk, _, ok := homog.History.Next(pos - 1)
+		if !ok {
+			break
+		}
+		if blk>>(isa.ASIDShift-isa.BlockShift) != 0 {
+			t.Fatalf("repeated-reference mix recorded a tagged block %#x", blk)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"confluence/internal/core"
@@ -86,9 +87,10 @@ type Runner struct {
 // key simulates it and closes done; later arrivals block on done and share
 // the result.
 type cacheEntry struct {
-	done  chan struct{}
-	stats *frontend.Stats
-	err   error
+	done    chan struct{}
+	stats   *frontend.Stats
+	perCore []*frontend.Stats
+	err     error
 }
 
 // NewRunner builds the five-workload suite at the given scale, fanning
@@ -126,12 +128,28 @@ func optKey(opt core.Options) string {
 		opt.SweepBTBEntries, opt.Shift.Lookahead, opt.HistoryPerCore)
 }
 
-func cellKey(w *synth.Workload, dp core.DesignPoint, opt core.Options) string {
-	key := w.Prof.Name + "|" + dp.String() + "|" + optKey(opt)
+// MixName labels a workload mix: the single workload's name, or the slot
+// names joined with "+" (the order is the core assignment, so it is part of
+// the cell identity).
+func MixName(mix []*synth.Workload) string {
+	if len(mix) == 1 {
+		return mix[0].Prof.Name
+	}
+	names := make([]string, len(mix))
+	for i, w := range mix {
+		names[i] = w.Prof.Name
+	}
+	return strings.Join(names, "+")
+}
+
+func cellKey(mix []*synth.Workload, dp core.DesignPoint, opt core.Options) string {
+	key := MixName(mix) + "|" + dp.String() + "|" + optKey(opt)
 	// A trace-replaying workload is a different cell than a live one with
 	// the same profile name.
-	if w.TraceDir != "" {
-		key += "|trace:" + w.TraceDir
+	for _, w := range mix {
+		if w.TraceDir != "" {
+			key += "|trace:" + w.TraceDir
+		}
 	}
 	return key
 }
@@ -152,7 +170,17 @@ func (r *Runner) Run(w *synth.Workload, dp core.DesignPoint, opt core.Options) (
 // — it retries the (evicted) key, so cancelling one plan never fails a
 // concurrent plan sharing cells on the same runner.
 func (r *Runner) RunCtx(ctx context.Context, w *synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, error) {
-	key := cellKey(w, dp, opt)
+	st, _, err := r.RunMixCtx(ctx, []*synth.Workload{w}, dp, opt)
+	return st, err
+}
+
+// RunMixCtx simulates one consolidated cell — core i of the CMP runs
+// mix[i mod len(mix)] — returning the aggregate stats and each core's
+// stats in core order. Memoization and singleflight behave exactly as in
+// RunCtx; a single-workload mix shares its cache cell with the
+// homogeneous RunCtx of the same workload.
+func (r *Runner) RunMixCtx(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, error) {
+	key := cellKey(mix, dp, opt)
 	for {
 		r.mu.Lock()
 		e, leader := r.cache[key]
@@ -160,14 +188,14 @@ func (r *Runner) RunCtx(ctx context.Context, w *synth.Workload, dp core.DesignPo
 			e = &cacheEntry{done: make(chan struct{})}
 			r.cache[key] = e
 			r.mu.Unlock()
-			e.stats, e.err = r.simulate(ctx, w, dp, opt)
+			e.stats, e.perCore, e.err = r.simulate(ctx, mix, dp, opt)
 			if e.err != nil {
 				r.mu.Lock()
 				delete(r.cache, key)
 				r.mu.Unlock()
 			}
 			close(e.done)
-			return e.stats, e.err
+			return e.stats, e.perCore, e.err
 		}
 		r.mu.Unlock()
 		select {
@@ -175,9 +203,9 @@ func (r *Runner) RunCtx(ctx context.Context, w *synth.Workload, dp core.DesignPo
 			if isCancellation(e.err) && ctx.Err() == nil {
 				continue // the leader was cancelled, we weren't: retry
 			}
-			return e.stats, e.err
+			return e.stats, e.perCore, e.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 }
@@ -188,24 +216,24 @@ func isCancellation(err error) bool {
 
 // simulate runs one cell uncached. Simulations are not interruptible
 // mid-run; cancellation is honored between cells.
-func (r *Runner) simulate(ctx context.Context, w *synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, error) {
+func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sys, err := core.NewSystem(w, dp, opt)
+	sys, err := core.NewMixSystem(mix, dp, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer sys.Close()
 	st, err := sys.Run(r.Scale.Warmup, r.Scale.Measure)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	r.progress(func() string {
 		return fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
-			w.Prof.Name, dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI())
+			MixName(mix), dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI())
 	})
-	return st, nil
+	return st, sys.PerCoreSnapshot(), nil
 }
 
 // progress emits one serialized Progress line; the line is only formatted

@@ -9,13 +9,14 @@ import (
 	"confluence/internal/synth"
 )
 
-// Cell is one point of the evaluation grid: a workload simulated on a
-// design point under specific options. Cells are self-contained and
-// individually seeded, so any subset can run concurrently.
+// Cell is one point of the evaluation grid: a workload mix simulated on a
+// design point under specific options (a homogeneous cell is a one-slot
+// mix). Cells are self-contained and individually seeded, so any subset can
+// run concurrently.
 type Cell struct {
-	Workload *synth.Workload
-	Design   core.DesignPoint
-	Opt      core.Options
+	Mix    []*synth.Workload
+	Design core.DesignPoint
+	Opt    core.Options
 }
 
 // Plan collects the cells a figure or table needs, deduplicating them
@@ -47,14 +48,21 @@ func (r *Runner) Grid(designs []core.DesignPoint) *Plan {
 	return p
 }
 
-// Add schedules one cell, dropping duplicates of cells already planned.
+// Add schedules one homogeneous cell, dropping duplicates of cells already
+// planned.
 func (p *Plan) Add(w *synth.Workload, dp core.DesignPoint, opt core.Options) {
-	key := cellKey(w, dp, opt)
+	p.AddMix([]*synth.Workload{w}, dp, opt)
+}
+
+// AddMix schedules one consolidated cell (core i runs mix[i mod len(mix)]),
+// dropping duplicates of cells already planned.
+func (p *Plan) AddMix(mix []*synth.Workload, dp core.DesignPoint, opt core.Options) {
+	key := cellKey(mix, dp, opt)
 	if _, dup := p.seen[key]; dup {
 		return
 	}
 	p.seen[key] = struct{}{}
-	p.cells = append(p.cells, Cell{Workload: w, Design: dp, Opt: opt})
+	p.cells = append(p.cells, Cell{Mix: mix, Design: dp, Opt: opt})
 }
 
 // AddDefault schedules a cell with the runner's default options.
@@ -72,7 +80,7 @@ func (p *Plan) Execute(ctx context.Context) error {
 	return parallel.ForEach(ctx, p.r.workers(), len(p.cells),
 		func(ctx context.Context, i int) error {
 			c := p.cells[i]
-			_, err := p.r.RunCtx(ctx, c.Workload, c.Design, c.Opt)
+			_, _, err := p.r.RunMixCtx(ctx, c.Mix, c.Design, c.Opt)
 			return err
 		})
 }
@@ -85,7 +93,7 @@ func (p *Plan) Stats(ctx context.Context) ([]*frontend.Stats, error) {
 	}
 	out := make([]*frontend.Stats, len(p.cells))
 	for i, c := range p.cells {
-		st, err := p.r.RunCtx(ctx, c.Workload, c.Design, c.Opt)
+		st, _, err := p.r.RunMixCtx(ctx, c.Mix, c.Design, c.Opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"confluence/internal/core"
+	"confluence/internal/synth"
+)
+
+// mixRunner builds a two-workload runner at the determinism tests' scale.
+func mixRunner(t *testing.T) *Runner {
+	t.Helper()
+	sc := Scale{Name: "tiny", Cores: 4, Warmup: 100_000, Measure: 150_000}
+	return NewRunnerFor(sc, []*synth.Workload{detWorkload(t), detWorkloadB(t)})
+}
+
+func TestMixStudy(t *testing.T) {
+	r := mixRunner(t)
+	rows, err := r.MixStudy(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 2-workload mix over {Confluence: shared+private, PhantomFDP:
+	// shared, Base1KSHIFT: shared+private}.
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5: %+v", len(rows), rows)
+	}
+	var sharedRow, privateRow *MixRow
+	for i := range rows {
+		row := &rows[i]
+		if row.IPC <= 0 || row.HMeanIPC <= 0 || row.WeightedSpeedup <= 0 {
+			t.Errorf("row %d has degenerate metrics: %+v", i, row)
+		}
+		if row.HMeanIPC > row.IPC*1.01 {
+			t.Errorf("row %d: harmonic mean %v above aggregate IPC %v", i, row.HMeanIPC, row.IPC)
+		}
+		if row.Design == core.Confluence {
+			if row.Private {
+				privateRow = row
+			} else {
+				sharedRow = row
+			}
+		}
+	}
+	if sharedRow == nil || privateRow == nil {
+		t.Fatal("missing Confluence shared/private rows")
+	}
+	// The ablation must be non-degenerate: sharing one history across a
+	// heterogeneous mix and giving every core its own are different
+	// machines, and the study must resolve the difference.
+	if sharedRow.IPC == privateRow.IPC && sharedRow.L1IMPKI == privateRow.L1IMPKI {
+		t.Errorf("shared vs private history is degenerate: %+v vs %+v", sharedRow, privateRow)
+	}
+
+	table := MixStudyTable(rows).String()
+	for _, want := range []string{"shared", "private", "Confluence", rows[0].Mix} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestMixStudyDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []MixRow {
+		r := mixRunner(t)
+		r.Workers = workers
+		rows, err := r.MixStudy(t.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d diverged between Workers=1 and Workers=8:\n  %+v\nvs\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDefaultMixes(t *testing.T) {
+	// With two workloads only the pair mix exists.
+	r := mixRunner(t)
+	mixes := r.DefaultMixes()
+	if len(mixes) != 1 || len(mixes[0]) != 2 {
+		t.Fatalf("two-workload suite produced mixes %v", mixes)
+	}
+	if mixes[0][0] != r.Workloads[0] || mixes[0][1] != r.Workloads[1] {
+		t.Error("pair mix should span the first and last workloads")
+	}
+	// A five-workload suite yields the 2-, 4-, and 5-way consolidations on
+	// a wide-enough CMP...
+	ws := make([]*synth.Workload, 5)
+	for i := range ws {
+		ws[i] = r.Workloads[i%2]
+	}
+	sizesAt := func(cores int) []int {
+		rr := NewRunnerFor(Scale{Name: "t", Cores: cores, Warmup: 1, Measure: 1}, ws)
+		var sizes []int
+		for _, m := range rr.DefaultMixes() {
+			sizes = append(sizes, len(m))
+		}
+		return sizes
+	}
+	if sizes := sizesAt(8); len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 4 || sizes[2] != 5 {
+		t.Errorf("five-workload mixes at 8 cores have sizes %v, want [2 4 5]", sizes)
+	}
+	// ...while mixes wider than the CMP are omitted (a workload without a
+	// core is not a consolidation).
+	if sizes := sizesAt(4); len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 4 {
+		t.Errorf("five-workload mixes at 4 cores have sizes %v, want [2 4]", sizes)
+	}
+}

@@ -26,6 +26,22 @@ func detWorkload(t *testing.T) *synth.Workload {
 	return w
 }
 
+// detWorkloadB is a second, genuinely different program for heterogeneous
+// mix cells.
+func detWorkloadB(t *testing.T) *synth.Workload {
+	t.Helper()
+	p := synth.WebFrontend()
+	p.Functions = 900
+	p.RequestTypes = 6
+	p.Concurrency = 8
+	p.Seed = 34
+	w, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 var detDesigns = []core.DesignPoint{
 	core.Base1K, core.FDP1K, core.TwoLevelSHIFT, core.Confluence, core.Ideal,
 }
@@ -36,6 +52,7 @@ var detDesigns = []core.DesignPoint{
 // singleflight cache and serialized progress for data races.
 func TestParallelDeterminism(t *testing.T) {
 	sc := Scale{Name: "tiny", Cores: 2, Warmup: 100_000, Measure: 150_000}
+	wB := detWorkloadB(t)
 	runGrid := func(workers int) []*frontend.Stats {
 		r := NewRunnerFor(sc, []*synth.Workload{detWorkload(t)})
 		r.Workers = workers
@@ -43,6 +60,13 @@ func TestParallelDeterminism(t *testing.T) {
 		plan := r.Grid(detDesigns)
 		// A non-default-options cell too, so optKey dispatch is covered.
 		plan.Add(r.Workloads[0], core.SweepBTB, r.sweepOptions(4096))
+		// Heterogeneous mix cells: consolidation must be just as
+		// worker-count-independent, shared history and private alike.
+		mix := []*synth.Workload{r.Workloads[0], wB}
+		plan.AddMix(mix, core.Confluence, r.options())
+		priv := r.options()
+		priv.HistoryPerCore = true
+		plan.AddMix(mix, core.Confluence, priv)
 		stats, err := plan.Stats(t.Context())
 		if err != nil {
 			t.Fatal(err)

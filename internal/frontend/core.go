@@ -28,6 +28,13 @@ type HistoryRecorder interface {
 type Config struct {
 	CoreID int
 
+	// ASID is the core's address-space slot under workload consolidation
+	// (Config.Mix): keys entering structures shared across cores — the LLC
+	// and the SHIFT history — are tagged with isa.ASIDBase(ASID) so distinct
+	// programs compete on capacity instead of aliasing at identical virtual
+	// addresses. Zero (every homogeneous run) is the identity.
+	ASID int
+
 	// Pipeline parameters (defaults per the paper's Table 1 core).
 	IssueWidth      float64 // 3-way
 	MisfetchPenalty float64 // BTB-miss redirect at decode: 4 cycles
@@ -95,6 +102,12 @@ type Core struct {
 	hasLast   bool
 	steps     uint64 // for periodic in-flight table scrubbing
 
+	// Address-space tag forms (from cfg.ASID): asBase ORs into addresses
+	// crossing into the shared LLC, keyTag into block keys recorded to the
+	// shared history. Both are zero outside heterogeneous mixes.
+	asBase isa.Addr
+	keyTag uint64
+
 	// halfLLCLat caches half the average LLC latency: an in-flight fill
 	// with at least this much residual wait counts as an effective miss.
 	halfLLCLat float64
@@ -119,7 +132,9 @@ func NewCore(cfg Config) *Core {
 		ras:    bpu.NewRAS(cfg.RASEntries),
 		itc:    bpu.NewITC(cfg.ITCEntries),
 		reqs:   make([]prefetch.Request, 0, 32),
+		asBase: isa.ASIDBase(cfg.ASID),
 	}
+	c.keyTag = uint64(c.asBase) >> isa.BlockShift
 	if !cfg.PerfectL1I {
 		c.l1i = cache.New(cfg.L1ISets, cfg.L1IWays)
 		c.inflight = cache.NewInFlight()
@@ -370,7 +385,7 @@ func (c *Core) access(now float64, b isa.Addr) float64 {
 			c.fill(now, b, false)
 		} else {
 			st.L1IMisses++
-			lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, b)
+			lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, b|c.asBase)
 			raw := float64(lat)
 			if c.cfg.PredecodePenalty > 0 {
 				raw += c.cfg.PredecodePenalty
@@ -390,7 +405,7 @@ func (c *Core) access(now float64, b isa.Addr) float64 {
 	}
 	if c.cfg.Recorder != nil {
 		if !c.hasLast || key != c.lastBlock {
-			c.cfg.Recorder.Record(key)
+			c.cfg.Recorder.Record(key | c.keyTag)
 			c.lastBlock = key
 			c.hasLast = true
 		}
@@ -430,7 +445,7 @@ func (c *Core) schedule(now float64, reqs []prefetch.Request) {
 		if _, ok := c.inflight.Ready(key); ok {
 			continue
 		}
-		lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, r.Block)
+		lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, r.Block|c.asBase)
 		ready := now + r.ExtraDelay + float64(lat)
 		if ready < now {
 			ready = now

@@ -26,6 +26,19 @@ const (
 // Addr is a 48-bit virtual address (stored in 64 bits).
 type Addr uint64
 
+// ASIDShift positions the address-space tag used when a CMP consolidates
+// heterogeneous workloads: mix slot s occupies addresses tagged with
+// ASIDBase(s). Program images live far below bit 44, so tagged spaces never
+// collide; slot 0 is untagged, keeping homogeneous runs bit-identical to
+// the pre-mix simulator.
+const ASIDShift = 44
+
+// ASIDBase returns the address-space tag of mix slot s. Shared structures
+// keyed by address (the LLC, SHIFT's history, PhantomBTB's group store) OR
+// this into their keys so distinct programs compete on capacity instead of
+// falsely aliasing at identical virtual addresses.
+func ASIDBase(s int) Addr { return Addr(s) << ASIDShift }
+
 // BlockOf returns the address of the 64B block containing a.
 func BlockOf(a Addr) Addr { return a &^ (BlockBytes - 1) }
 

@@ -72,6 +72,12 @@ type PhantomBTB struct {
 	// core's tile.
 	metaLatency float64
 
+	// asBase tags region keys in the shared store with this core's
+	// address space (workload consolidation): cores running different
+	// workloads compete for store capacity without aliasing regions. Zero —
+	// every homogeneous run — is the identity.
+	asBase isa.Addr
+
 	GroupFills, GroupHits uint64
 }
 
@@ -85,12 +91,19 @@ type pendingFill struct {
 // prefetch buffer (64); metaLatency the LLC round-trip cycles for group
 // fetches.
 func New(name string, l1Sets, l1Ways, pfEntries int, store *Store, metaLatency float64) *PhantomBTB {
+	return NewASID(name, l1Sets, l1Ways, pfEntries, store, metaLatency, 0)
+}
+
+// NewASID is New with an address-space tag (isa.ASIDBase of the core's mix
+// slot) applied to the shared store's region keys.
+func NewASID(name string, l1Sets, l1Ways, pfEntries int, store *Store, metaLatency float64, asBase isa.Addr) *PhantomBTB {
 	return &PhantomBTB{
 		name:        name,
 		l1:          cache.NewAssoc[btb.Entry](l1Sets, l1Ways),
 		pfbuf:       cache.NewVictim[btb.Entry](pfEntries),
 		store:       store,
 		metaLatency: metaLatency,
+		asBase:      asBase,
 	}
 }
 
@@ -132,7 +145,7 @@ func (p *PhantomBTB) Lookup(now float64, bb, brPC isa.Addr) btb.Result {
 	// First-level miss: trigger a group prefetch for this region and let
 	// Resolve append the missing entry to the forming group.
 	p.missPend = true
-	if g, ok := p.store.groups.Lookup(region(bb)); ok {
+	if g, ok := p.store.groups.Lookup(region(bb | p.asBase)); ok {
 		p.pending = append(p.pending, pendingFill{ready: now + p.metaLatency, g: g})
 		p.GroupFills++
 	}
@@ -160,7 +173,7 @@ func (p *PhantomBTB) Resolve(now float64, bb isa.Addr, nInstr int, br trace.Bran
 	p.missPend = false
 	if !p.curValid {
 		p.curValid = true
-		p.curRegion = region(bb)
+		p.curRegion = region(bb | p.asBase)
 		p.cur = group{}
 	}
 	p.cur.entries[p.cur.n] = taggedEntry{key: k, e: e}

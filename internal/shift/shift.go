@@ -222,10 +222,24 @@ func (h *History) Len() int {
 // IndexLen returns the number of live index entries (tests).
 func (h *History) IndexLen() int { return h.idxN }
 
+// blockTag converts an address-space base into block-number space: history
+// entries are block numbers, so the tag rides ASIDShift-BlockShift bits up.
+func blockTag(base isa.Addr) uint64 { return uint64(base) >> isa.BlockShift }
+
+// blockTagMask covers the tag bits of a block number.
+const blockTagMask = ^uint64(1<<(isa.ASIDShift-isa.BlockShift) - 1)
+
 // Engine is one core's stream-replay engine over a shared History.
 type Engine struct {
 	cfg Config
 	h   *History
+
+	// tag is the block-number form of the engine's address-space tag: under
+	// workload consolidation every history key this engine records or looks
+	// up carries it, so competing workloads share the buffer's capacity
+	// without aliasing. Zero (mix slot 0, and every homogeneous run) is the
+	// identity: untagged keys, bit-identical to the single-workload engine.
+	tag uint64
 
 	valid bool
 	pos   int
@@ -250,9 +264,19 @@ type Engine struct {
 // NewEngine creates a replay engine; metaLatency is the LLC metadata access
 // latency from this core's tile (two dependent reads on restart).
 func NewEngine(cfg Config, h *History, metaLatency float64) *Engine {
+	return NewEngineASID(cfg, h, metaLatency, 0)
+}
+
+// NewEngineASID creates a replay engine whose history keys are tagged with
+// the given address-space base (isa.ASIDBase of the core's mix slot). The
+// engine follows only its own workload's records through the shared buffer,
+// skipping entries written under other tags — foreign streams cost buffer
+// capacity, never false predictions.
+func NewEngineASID(cfg Config, h *History, metaLatency float64, base isa.Addr) *Engine {
 	return &Engine{
 		cfg:          cfg,
 		h:            h,
+		tag:          blockTag(base),
 		window:       make([]uint64, 0, cfg.Lookahead),
 		restartDelay: 2 * metaLatency,
 	}
@@ -290,7 +314,7 @@ func (e *Engine) rebuildSig() {
 // OnAccess implements prefetch.Prefetcher: confirm predicted blocks and top
 // up the window; restart the stream on unpredicted misses.
 func (e *Engine) OnAccess(now float64, block isa.Addr, miss bool, dst []prefetch.Request) []prefetch.Request {
-	b := uint64(block) >> isa.BlockShift
+	b := uint64(block)>>isa.BlockShift | e.tag
 	if i := e.inWindow(b); i >= 0 {
 		// Unordered removal: the window is a membership set, so swapping
 		// the last element in is equivalent to shifting.
@@ -342,13 +366,18 @@ func (e *Engine) advance(extra float64, dst []prefetch.Request) []prefetch.Reque
 			break
 		}
 		e.pos = np
+		if blk&blockTagMask != e.tag {
+			// Another workload's stream segment: its records consume shared
+			// buffer capacity but are not predictions for this core.
+			continue
+		}
 		if e.inWindow(blk) >= 0 {
 			continue
 		}
 		e.window = append(e.window, blk)
 		e.sig |= sigBit(blk)
 		dst = append(dst, prefetch.Request{
-			Block:      isa.Addr(blk) << isa.BlockShift,
+			Block:      isa.Addr(blk&^blockTagMask) << isa.BlockShift,
 			ExtraDelay: extra + float64(len(dst)-base), // serialized issue
 		})
 		e.Issued++

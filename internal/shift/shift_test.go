@@ -195,3 +195,59 @@ func TestNewHistoryPanics(t *testing.T) {
 	}()
 	NewHistory(0)
 }
+
+// TestEngineASIDIsolation covers the consolidation contract: two engines
+// with different address-space tags share one history buffer without
+// cross-predicting — each follows only its own workload's records, skipping
+// foreign stream segments, and emits untagged block addresses.
+func TestEngineASIDIsolation(t *testing.T) {
+	h := NewHistory(256)
+	tagA := isa.ASIDBase(0)
+	tagB := isa.ASIDBase(1)
+	// Two interleaved generator streams: workload A records blocks 100..107,
+	// workload B records 100..107 of its own address space (the same raw
+	// block numbers — the aliasing case consolidation must not confuse).
+	for b := uint64(100); b <= 107; b++ {
+		h.Record(b | blockTag(tagA))
+		h.Record(b | blockTag(tagB))
+	}
+
+	eA := NewEngineASID(Config{HistoryEntries: 256, Lookahead: 4}, h, 10, tagA)
+	eB := NewEngineASID(Config{HistoryEntries: 256, Lookahead: 4}, h, 10, tagB)
+
+	reqsA := eA.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true, nil)
+	if len(reqsA) != 4 {
+		t.Fatalf("engine A issued %d prefetches, want 4", len(reqsA))
+	}
+	for i, r := range reqsA {
+		want := isa.Addr(101+i) << isa.BlockShift
+		if r.Block != want {
+			t.Errorf("engine A prefetch %d = %#x, want untagged %#x", i, uint64(r.Block), uint64(want))
+		}
+	}
+	// Engine B restarts at its own occurrence of "block 100" and must see
+	// only B-tagged successors, emitted untagged.
+	reqsB := eB.OnAccess(0, isa.Addr(100)<<isa.BlockShift, true, nil)
+	if len(reqsB) != 4 {
+		t.Fatalf("engine B issued %d prefetches, want 4", len(reqsB))
+	}
+	for i, r := range reqsB {
+		want := isa.Addr(101+i) << isa.BlockShift
+		if r.Block != want {
+			t.Errorf("engine B prefetch %d = %#x, want untagged %#x", i, uint64(r.Block), uint64(want))
+		}
+	}
+	if eA.IndexMisses != 0 || eB.IndexMisses != 0 {
+		t.Errorf("index misses: A=%d B=%d, want 0", eA.IndexMisses, eB.IndexMisses)
+	}
+
+	// An untagged third engine probing the same raw block must miss the
+	// index entirely: its keys carry tag 0... which is tagA here. Probe a
+	// block recorded by neither tag instead.
+	if reqs := eA.OnAccess(1, isa.Addr(500)<<isa.BlockShift, true, nil); len(reqs) != 0 {
+		t.Errorf("unrecorded block produced prefetches: %v", reqs)
+	}
+	if eA.IndexMisses != 1 {
+		t.Errorf("IndexMisses = %d, want 1", eA.IndexMisses)
+	}
+}

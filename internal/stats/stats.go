@@ -36,6 +36,41 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// HarmonicMean returns the harmonic mean of xs (which must be positive) —
+// the standard aggregate for per-core IPCs under workload consolidation,
+// where a single starved core should dominate the figure of merit.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// WeightedSpeedup returns the arithmetic mean of per-core speedups
+// mix[i]/alone[i]: each core's IPC under consolidation relative to the same
+// core running its workload alone (homogeneously). 1.0 means consolidation
+// cost nothing; both slices are in core order and must have equal length.
+func WeightedSpeedup(mix, alone []float64) float64 {
+	if len(mix) == 0 || len(mix) != len(alone) {
+		return 0
+	}
+	sum := 0.0
+	for i, m := range mix {
+		if alone[i] <= 0 {
+			return 0
+		}
+		sum += m / alone[i]
+	}
+	return sum / float64(len(mix))
+}
+
 // Coverage returns the percentage of baseline events eliminated by a
 // design: 100 * (1 - design/baseline). Negative values mean the design is
 // worse than baseline (AirBTB without an overflow buffer exhibits this in
@@ -76,15 +111,23 @@ func (t *Table) Row(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
-// String renders the table.
+// String renders the table. Rows may carry more cells than there are
+// headers (the extra columns render under empty headers) or fewer (the row
+// simply ends early); neither is an error.
 func (t *Table) String() string {
-	width := make([]int, len(t.cols))
+	ncols := len(t.cols)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	width := make([]int, ncols)
 	for i, c := range t.cols {
 		width[i] = len(c)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
+			if len(c) > width[i] {
 				width[i] = len(c)
 			}
 		}
@@ -103,7 +146,10 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	writeRow(t.cols)
-	total := len(t.cols) - 1
+	total := 0
+	if len(width) > 0 {
+		total = len(width) - 1
+	}
 	for _, w := range width {
 		total += w + 1
 	}

@@ -90,6 +90,61 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("HarmonicMean(2,2,2) = %v", got)
+	}
+	// HM(1,3) = 2/(1+1/3) = 1.5; below the arithmetic mean of 2.
+	if got := HarmonicMean([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("HarmonicMean(1,3) = %v", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Error("empty harmonic mean should be 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive input should yield 0")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	if got := WeightedSpeedup([]float64{1, 2}, []float64{1, 2}); got != 1 {
+		t.Errorf("self speedup = %v", got)
+	}
+	if got := WeightedSpeedup([]float64{1, 1}, []float64{2, 2}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("halved speedup = %v", got)
+	}
+	if WeightedSpeedup([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("mismatched lengths should yield 0")
+	}
+	if WeightedSpeedup(nil, nil) != 0 {
+		t.Error("empty speedup should be 0")
+	}
+	if WeightedSpeedup([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+// TestTableRowWiderThanHeaders is the regression test for the
+// index-out-of-range panic: Row with more cells than headers used to crash
+// String (the width pass guarded the bound, the render pass did not). Extra
+// columns must render under empty headers.
+func TestTableRowWiderThanHeaders(t *testing.T) {
+	tab := NewTable("Wide", "A", "B")
+	tab.Row("a", "b", "extra-cell")
+	tab.Row("c")
+	out := tab.String() // must not panic
+	if !strings.Contains(out, "extra-cell") {
+		t.Errorf("extra cell dropped from output:\n%s", out)
+	}
+	if !strings.Contains(out, "c") {
+		t.Errorf("short row dropped from output:\n%s", out)
+	}
+	// Degenerate shapes render too (no columns, no rows).
+	if out := NewTable("Empty").String(); !strings.Contains(out, "Empty") {
+		t.Errorf("zero-column table lost its title:\n%q", out)
+	}
+}
+
 func TestTableWithoutTitle(t *testing.T) {
 	tab := NewTable("", "A")
 	tab.Row("x")

@@ -1,0 +1,177 @@
+package confluence
+
+import (
+	"testing"
+
+	"confluence/internal/synth"
+)
+
+// mixTestWorkload builds a small fixed-seed workload for the mix tests;
+// variant perturbs the profile so distinct variants are genuinely different
+// programs.
+func mixTestWorkload(t *testing.T, variant int) *Workload {
+	t.Helper()
+	p := synth.OLTPDB2()
+	p.Functions = 520 + 60*variant
+	p.RequestTypes = 6
+	p.Concurrency = 6
+	p.Seed = 0x31c0 + uint64(variant)
+	w, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestHomogeneousMixBitIdentical pins the load-bearing invariant of the
+// mix machinery: a mix of N references to one workload must be
+// bit-identical to the homogeneous run of that workload — same aggregate
+// stats, same per-core stats. Slot 0's address-space tag is zero, so the
+// tagging plumbing must be a perfect identity here.
+func TestHomogeneousMixBitIdentical(t *testing.T) {
+	w := mixTestWorkload(t, 0)
+	for _, dp := range []DesignPoint{Confluence, PhantomSHIFT} {
+		run := func(cfg Config) *Result {
+			cfg.Design = dp
+			cfg.Cores = 2
+			cfg.WarmupInstr = 30_000
+			cfg.MeasureInstr = 60_000
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		homog := run(Config{Workload: w})
+		// A rebuilt copy (distinct pointer, same profile) is the same
+		// generated program and must collapse into the same address-space
+		// slot — `-mix X,X` on the CLI builds exactly this shape.
+		rebuilt := mixTestWorkload(t, 0)
+		for _, mix := range [][]*Workload{{w}, {w, w}, {w, rebuilt}} {
+			m := run(Config{Mix: mix})
+			if *m.Stats != *homog.Stats {
+				t.Errorf("%v: mix of %d copies diverged from homogeneous run:\n  %+v\nvs\n  %+v",
+					dp, len(mix), *m.Stats, *homog.Stats)
+			}
+			if len(m.PerCore) != len(homog.PerCore) {
+				t.Fatalf("%v: per-core counts differ", dp)
+			}
+			for i := range m.PerCore {
+				if *m.PerCore[i] != *homog.PerCore[i] {
+					t.Errorf("%v: core %d diverged under a homogeneous mix", dp, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPerCoreStatsSumToAggregate pins Result.PerCore's contract across
+// design points: the aggregate Stats is the in-order sum of the per-core
+// stats, bit-exactly (same summation order as the simulator's own).
+func TestPerCoreStatsSumToAggregate(t *testing.T) {
+	a := mixTestWorkload(t, 0)
+	b := mixTestWorkload(t, 1)
+	for _, dp := range []DesignPoint{Base1K, FDP1K, PhantomSHIFT, Confluence, Ideal} {
+		res, err := Run(Config{
+			Mix: []*Workload{a, b}, Design: dp, Cores: 4,
+			WarmupInstr: 30_000, MeasureInstr: 60_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerCore) != 4 {
+			t.Fatalf("%v: %d per-core stats, want 4", dp, len(res.PerCore))
+		}
+		var sum Stats
+		for _, st := range res.PerCore {
+			sum.Add(st)
+		}
+		if sum != *res.Stats {
+			t.Errorf("%v: per-core stats do not sum to the aggregate:\n  sum %+v\nvs\n  agg %+v",
+				dp, sum, *res.Stats)
+		}
+	}
+}
+
+// TestHeterogeneousMixDiffers guards against the mix plumbing silently
+// running one workload everywhere: consolidating two distinct programs
+// must differ from either homogeneous run, and per-core stats must differ
+// across slots.
+func TestHeterogeneousMixDiffers(t *testing.T) {
+	a := mixTestWorkload(t, 0)
+	b := mixTestWorkload(t, 1)
+	run := func(cfg Config) *Result {
+		cfg.Design = Confluence
+		cfg.Cores = 2
+		cfg.WarmupInstr = 30_000
+		cfg.MeasureInstr = 60_000
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mix := run(Config{Mix: []*Workload{a, b}})
+	if *mix.Stats == *run(Config{Workload: a}).Stats {
+		t.Error("heterogeneous mix identical to homogeneous run of slot 0")
+	}
+	if *mix.Stats == *run(Config{Workload: b}).Stats {
+		t.Error("heterogeneous mix identical to homogeneous run of slot 1")
+	}
+	if *mix.PerCore[0] == *mix.PerCore[1] {
+		t.Error("cores running distinct workloads produced identical stats")
+	}
+	// And the mix itself is deterministic.
+	if again := run(Config{Mix: []*Workload{a, b}}); *again.Stats != *mix.Stats {
+		t.Error("heterogeneous mix is not deterministic")
+	}
+}
+
+// TestMixValidation covers the Config.Workload/Config.Mix contract.
+func TestMixValidation(t *testing.T) {
+	w := mixTestWorkload(t, 0)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"neither", Config{Design: Confluence}},
+		{"both", Config{Workload: w, Mix: []*Workload{w}, Design: Confluence}},
+		{"nil in mix", Config{Mix: []*Workload{w, nil}, Design: Confluence}},
+		{"wider than CMP", Config{Mix: []*Workload{w, w, w}, Cores: 2, Design: Confluence}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestHarmonicMeanAndWeightedSpeedup covers the public per-core metric
+// helpers on real results.
+func TestHarmonicMeanAndWeightedSpeedup(t *testing.T) {
+	w := mixTestWorkload(t, 0)
+	res, err := Run(Config{
+		Workload: w, Design: Confluence, Cores: 2,
+		WarmupInstr: 30_000, MeasureInstr: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := HarmonicMeanIPC(res.PerCore)
+	if hm <= 0 {
+		t.Errorf("harmonic-mean IPC = %v", hm)
+	}
+	if hm > res.Stats.IPC()*1.01 {
+		t.Errorf("harmonic mean %v exceeds aggregate IPC %v", hm, res.Stats.IPC())
+	}
+	ws, err := WeightedSpeedup(res.PerCore, res.PerCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1.0 {
+		t.Errorf("self weighted speedup = %v, want 1.0", ws)
+	}
+	if _, err := WeightedSpeedup(res.PerCore, res.PerCore[:1]); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
