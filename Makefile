@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json fmt vet cover fuzz examples ci
+.PHONY: all build test race bench bench-json bench-intra bench-compare fmt vet cover fuzz examples ci
 
 all: build test
 
@@ -39,6 +39,23 @@ bench-json:
 	go test -run '^$$' -bench=. -benchtime=1x -benchmem ./... > $(BENCH_OUT).txt
 	go run ./cmd/benchjson < $(BENCH_OUT).txt > $(BENCH_OUT)
 	@rm -f $(BENCH_OUT).txt
+
+# bench-intra mirrors the CI intra-smoke step: wall-clock of one 8-core
+# simulation, serial vs bound-weave (K=8, GOMAXPROCS workers), asserting a
+# ≥1.3x speedup. Meaningless on 1-CPU machines (the test skips itself).
+bench-intra:
+	INTRA_SMOKE=1 go test -run TestIntraWallClockSmoke -count=1 -v .
+
+# bench-compare gates the committed perf trajectory: per-benchmark ns/op
+# deltas between the PR's before/after snapshots, failing on >10%
+# regressions among benchmarks present in both. The floor exempts
+# sub-100µs micro-benchmarks from gating (still printed): at the
+# snapshots' -benchtime=1x a single ~100ns call cannot be timed reliably,
+# and gating on it would flag a random set every run.
+BENCH_BEFORE ?= BENCH_pr5_before.json
+BENCH_AFTER  ?= BENCH_pr5_after.json
+bench-compare:
+	go run ./cmd/benchjson -compare -floor 100000 $(BENCH_BEFORE) $(BENCH_AFTER)
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

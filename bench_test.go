@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"confluence/internal/core"
 	"confluence/internal/experiments"
@@ -257,6 +258,92 @@ func BenchmarkGridScheduler_WorkerScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIntraWorkerScaling measures one wide simulation (8 simulated
+// cores, the configuration grid-level parallelism cannot help) under
+// bound-weave in-run parallelism: serial exact, parallel exact (K=1, still
+// bit-identical), and the K=8 approximation. On the 1-CPU dev container the
+// widths collapse; CI (multi-core) shows the spread and the bench-smoke job
+// asserts the K=8 speedup.
+func BenchmarkIntraWorkerScaling(b *testing.B) {
+	w := benchWorkloads(b)[0]
+	type intraMode struct {
+		name           string
+		workers, epoch int
+	}
+	modes := []intraMode{{"serial", 1, 1}}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		modes = append(modes,
+			intraMode{fmt.Sprintf("exact-w%d", n), n, 1},
+			intraMode{fmt.Sprintf("k8-w%d", n), n, 8},
+		)
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var instr uint64
+			for i := 0; i < b.N; i++ {
+				opt := core.DefaultOptions()
+				opt.Cores = 8
+				opt.IntraWorkers = m.workers
+				opt.EpochBlocks = m.epoch
+				sys, err := core.NewSystem(w, core.Confluence, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := sys.Run(0, 250_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instr += st.Instructions
+			}
+			b.ReportMetric(float64(instr)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// TestIntraWallClockSmoke is the CI bench-smoke gate (INTRA_SMOKE=1): at 8
+// simulated cores with several OS CPUs, K=8 bound-weave with GOMAXPROCS
+// workers must beat the serial engine by ≥1.3× wall clock. The CI job runs
+// it warn-only — wall-clock assertions on shared runners flake — and
+// uploads the logged ratio as an artifact.
+func TestIntraWallClockSmoke(t *testing.T) {
+	if os.Getenv("INTRA_SMOKE") == "" {
+		t.Skip("set INTRA_SMOKE=1 to run the wall-clock smoke test")
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		t.Skipf("GOMAXPROCS=%d: no parallelism to measure", n)
+	}
+	w, err := BuildWorkload("OLTP-DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instr = 1_000_000
+	run := func(workers, epoch int) time.Duration {
+		opt := core.DefaultOptions()
+		opt.Cores = 8
+		opt.IntraWorkers = workers
+		opt.EpochBlocks = epoch
+		sys, err := core.NewSystem(w, core.Confluence, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := sys.Run(0, instr); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	run(1, 1) // warm the program image & predecode caches
+	serial := run(1, 1)
+	par := run(n, 8)
+	ratio := serial.Seconds() / par.Seconds()
+	t.Logf("intra-smoke: 8 simulated cores, GOMAXPROCS=%d: serial %v, K=8/w%d %v, speedup %.2fx",
+		n, serial, n, par, ratio)
+	if ratio < 1.3 {
+		t.Errorf("bound-weave speedup %.2fx below the 1.3x floor", ratio)
 	}
 }
 

@@ -5,18 +5,27 @@
 // Usage:
 //
 //	go test -run '^$' -bench=. -benchtime=1x -benchmem ./... | benchjson > bench.json
+//	benchjson -compare before.json after.json
 //
 // Every benchmark line becomes one record carrying the iteration count and
 // all reported metrics (ns/op, B/op, allocs/op, and any custom b.ReportMetric
 // units such as Minstr/s). Non-benchmark lines are ignored, so the tool
 // tolerates -v logs and table dumps interleaved with results.
+//
+// With -compare, the tool diffs two snapshots instead: it prints a
+// per-benchmark ns/op delta table (benchmarks present in only one snapshot
+// are listed but not judged) and exits non-zero when any common benchmark
+// regressed by more than 10% — the gate `make bench-compare` runs over the
+// committed BENCH_pr*_{before,after}.json pairs.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +47,18 @@ type Output struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare before.json after.json")
+	regress := flag.Float64("regress", 10, "with -compare, fail on ns/op regressions above this percentage")
+	floor := flag.Float64("floor", 0, "with -compare, gate only benchmarks whose before ns/op is at least this (sub-floor regressions print as 'noisy?' — one-iteration snapshots cannot time micro-benchmarks reliably)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: before.json after.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *regress, *floor))
+	}
+
 	out := Output{}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -70,6 +91,102 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadSnapshot reads a benchjson document from disk.
+func loadSnapshot(path string) (Output, error) {
+	var out Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// benchKey identifies a benchmark across snapshots.
+func benchKey(r Record) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// runCompare prints the per-benchmark ns/op delta table and returns the
+// process exit code: 0 clean, 1 when any common benchmark at or above the
+// gating floor regressed by more than limit percent.
+func runCompare(beforePath, afterPath string, limit, floor float64) int {
+	before, err := loadSnapshot(beforePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	after, err := loadSnapshot(afterPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	base := make(map[string]Record, len(before.Benchmarks))
+	for _, r := range before.Benchmarks {
+		base[benchKey(r)] = r
+	}
+	keys := make([]string, 0, len(after.Benchmarks))
+	cur := make(map[string]Record, len(after.Benchmarks))
+	for _, r := range after.Benchmarks {
+		k := benchKey(r)
+		keys = append(keys, k)
+		cur[k] = r
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("%-64s %14s %14s %8s\n", "benchmark", "before ns/op", "after ns/op", "delta")
+	regressions := 0
+	for _, k := range keys {
+		a := cur[k]
+		ans, aok := a.Metrics["ns/op"]
+		b, inBase := base[k]
+		bns, bok := b.Metrics["ns/op"]
+		switch {
+		case !inBase || !bok:
+			if aok {
+				fmt.Printf("%-64s %14s %14.1f %8s\n", k, "-", ans, "new")
+			}
+		case !aok:
+			fmt.Printf("%-64s %14.1f %14s %8s\n", k, bns, "-", "gone")
+		case bns == 0:
+			fmt.Printf("%-64s %14.1f %14.1f %8s\n", k, bns, ans, "n/a")
+		default:
+			delta := 100 * (ans - bns) / bns
+			mark := ""
+			if delta > limit {
+				if bns >= floor {
+					mark = "  << regression"
+					regressions++
+				} else {
+					mark = "  (noisy?)"
+				}
+			}
+			fmt.Printf("%-64s %14.1f %14.1f %+7.1f%%%s\n", k, bns, ans, delta, mark)
+		}
+	}
+	// Benchmarks that vanished entirely (in before, not in after).
+	var gone []string
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Printf("%-64s %14.1f %14s %8s\n", k, base[k].Metrics["ns/op"], "-", "gone")
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%%\n", regressions, limit)
+		return 1
+	}
+	return 0
 }
 
 // parseBench decodes "BenchmarkName-8  10  123 ns/op  4 B/op  1 allocs/op  9.9 unit".

@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	confluence-sim [-scale small|default|paper] [-workers N] [-run fig1,table2,fig6,...] [-v]
+//	confluence-sim [-scale small|default|paper] [-workers N] [-intra-workers N] [-intra-epoch K] [-run fig1,table2,fig6,...] [-v]
 //	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
 //	confluence-sim -mix OLTP-DB2,Web-Frontend [-scale ...]
 //
 // The default runs everything at the "default" scale (8 cores, 3M
 // instructions per core), fanning independent simulation cells out across
 // all CPUs. REPRO_SCALE overrides the default scale; REPRO_WORKERS (or
-// -workers) bounds the worker pool. Results are bit-identical for any
-// worker count. Ctrl-C cancels cleanly between cells.
+// -workers) bounds the worker pool. -intra-workers additionally parallelizes
+// inside each simulation with bound-weave epochs (the -workers budget is
+// split between the two levels); at the default epoch depth (-intra-epoch 1)
+// results are bit-identical to serial, while K>1 is a documented
+// approximation with one-epoch-stale cross-core timing feedback. Results
+// are bit-identical for any worker count at fixed K. Ctrl-C cancels cleanly
+// between cells.
 //
 // With -trace, the binary replays a capture directory (written by
 // `tracegen -cores`) through the timing model instead of the synthetic
@@ -45,6 +50,8 @@ func main() {
 	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
 	runFlag := flag.String("run", "all", "comma-separated experiments: fig1,table2,fig2,fig6,fig7,fig8,fig9,fig10,ablations,mixstudy,all")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
+	intraWorkers := flag.Int("intra-workers", 0, "bound-weave workers inside each simulation (0/1 = serial; the -workers budget is split between levels)")
+	intraEpoch := flag.Int("intra-epoch", 0, "bound-weave epoch depth K in blocks per core (0/1 = exact mode; K>1 is a documented approximation)")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	traceDir := flag.String("trace", "", "replay a capture directory through the timing model instead of the synthetic suite")
 	traceWorkload := flag.String("trace-workload", "", "workload the capture was taken from (restores program image + calibration)")
@@ -64,13 +71,13 @@ func main() {
 	defer stop()
 
 	if *traceDir != "" {
-		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *workers); err != nil {
+		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *workers, *intraWorkers, *intraEpoch); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *mixFlag != "" {
-		if err := runMix(ctx, sc, *mixFlag, *workers, *verbose); err != nil {
+		if err := runMix(ctx, sc, *mixFlag, *workers, *intraWorkers, *intraEpoch, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -91,6 +98,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	r.IntraWorkers = *intraWorkers
+	r.EpochBlocks = *intraEpoch
 	if *verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
@@ -176,7 +185,10 @@ func main() {
 
 // replayTrace runs the paper's headline design points over a capture
 // directory, one replayed simulation per design.
-func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName string, workers int) error {
+func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName string, workers, intraWorkers, intraEpoch int) error {
+	// Split the goroutine budget between replay-level and in-run
+	// parallelism, exactly as the experiment runners do.
+	workers = experiments.SplitWorkers(workers, intraWorkers)
 	var w *confluence.Workload
 	var err error
 	if workloadName != "" {
@@ -197,7 +209,9 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName st
 		cfgs[i] = confluence.Config{
 			Workload: w, Design: dp, TraceDir: dir, Cores: sc.Cores,
 			WarmupInstr: sc.Warmup, MeasureInstr: sc.Measure,
-			Parallelism: workers,
+			Parallelism:      workers,
+			IntraParallelism: intraWorkers,
+			EpochBlocks:      intraEpoch,
 		}
 	}
 	res, err := confluence.RunMany(ctx, workers, cfgs)
@@ -218,7 +232,7 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName st
 }
 
 // runMix runs the consolidation study on one explicit workload mix.
-func runMix(ctx context.Context, sc experiments.Scale, spec string, workers int, verbose bool) error {
+func runMix(ctx context.Context, sc experiments.Scale, spec string, workers, intraWorkers, intraEpoch int, verbose bool) error {
 	var mix []*confluence.Workload
 	for _, name := range strings.Split(spec, ",") {
 		w, err := confluence.BuildWorkload(strings.TrimSpace(name))
@@ -229,6 +243,8 @@ func runMix(ctx context.Context, sc experiments.Scale, spec string, workers int,
 	}
 	r := experiments.NewRunnerFor(sc, nil)
 	r.Workers = workers
+	r.IntraWorkers = intraWorkers
+	r.EpochBlocks = intraEpoch
 	if verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000] [-workers N]
+//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000] [-workers N] [-intra-workers N] [-intra-epoch K]
 //	frontend-probe -trace CAPTURE_DIR [-workload NAME] [-cores 8] [-instr N]
 //
 // With -trace, cores replay the capture directory (written by `tracegen
@@ -43,6 +43,8 @@ func main() {
 	cores := flag.Int("cores", 8, "CMP width")
 	instr := flag.Uint64("instr", 1_500_000, "per-core instructions (warmup = measure)")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
+	intraWorkers := flag.Int("intra-workers", 0, "bound-weave workers inside each simulation (0/1 = serial)")
+	intraEpoch := flag.Int("intra-epoch", 0, "bound-weave epoch depth K in blocks per core (0/1 = exact)")
 	traceDir := flag.String("trace", "", "replay a capture directory instead of executing the workload live")
 	flag.Parse()
 
@@ -136,6 +138,8 @@ func main() {
 	sc := experiments.Scale{Name: "probe", Cores: *cores, Warmup: *instr, Measure: *instr}
 	r := experiments.NewRunnerFor(sc, []*synth.Workload{w})
 	r.Workers = *workers
+	r.IntraWorkers = *intraWorkers
+	r.EpochBlocks = *intraEpoch
 	if err := r.Grid(designs).Execute(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "frontend-probe:", err)
 		os.Exit(1)

@@ -225,6 +225,18 @@ type Config struct {
 	// resolves through the REPRO_WORKERS environment variable, then
 	// GOMAXPROCS. A single Run is one simulation and ignores it.
 	Parallelism int
+	// IntraParallelism bounds the worker goroutines stepping cores inside
+	// this single simulation (bound-weave epochs; see internal/cmp). The
+	// default (0 or 1) is the serial engine — today's behavior. At
+	// EpochBlocks=1 (the default) results are bit-identical to serial for
+	// any IntraParallelism, so the knob is pure wall-clock.
+	IntraParallelism int
+	// EpochBlocks is K, the per-core epoch depth in basic blocks for
+	// bound-weave stepping. 0/1 (the default) is the exact mode; K>1 is a
+	// documented approximation — cross-core shared-timing feedback (LLC
+	// fills, SHIFT history records) arrives one epoch late — that remains
+	// bit-deterministic across worker counts for a given K.
+	EpochBlocks int
 }
 
 // Result is a completed simulation.
@@ -267,6 +279,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Cores > 0 {
 		opt.Cores = cfg.Cores
+	}
+	// Like Cores above, the Config knobs win over Options when both are set.
+	if cfg.IntraParallelism > 0 {
+		opt.IntraWorkers = cfg.IntraParallelism
+	}
+	if cfg.EpochBlocks > 0 {
+		opt.EpochBlocks = cfg.EpochBlocks
 	}
 	switch {
 	case cfg.NoWarmup:

@@ -50,6 +50,12 @@ func goldenDesigns() []DesignPoint {
 }
 
 func goldenRun(t *testing.T) map[string]goldenMetrics {
+	return goldenRunWith(t, nil)
+}
+
+// goldenRunWith runs the golden grid, letting tweak adjust each config
+// before it runs (the K>1 bound-weave golden sets EpochBlocks there).
+func goldenRunWith(t *testing.T, tweak func(*Config)) map[string]goldenMetrics {
 	t.Helper()
 	w := goldenWorkload(t)
 	out := make(map[string]goldenMetrics)
@@ -61,6 +67,9 @@ func goldenRun(t *testing.T) map[string]goldenMetrics {
 		if dp == core.SweepBTB {
 			cfg.Options = core.DefaultOptions()
 			cfg.Options.SweepBTBEntries = 2048
+		}
+		if tweak != nil {
+			tweak(&cfg)
 		}
 		res, err := Run(cfg)
 		if err != nil {
@@ -82,26 +91,32 @@ func goldenRun(t *testing.T) map[string]goldenMetrics {
 // test. Refactors that intentionally change results regenerate the file
 // with `go test -run TestGoldenStats -update ./`.
 func TestGoldenStats(t *testing.T) {
-	got := goldenRun(t)
+	verifyGolden(t, goldenPath, goldenRun(t))
+}
 
+// verifyGolden compares got against the pinned file at path, or rewrites
+// the file under -update. It is shared by the serial golden and the
+// bound-weave K>1 golden (intra_test.go).
+func verifyGolden(t *testing.T, path string, got map[string]goldenMetrics) {
+	t.Helper()
 	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
 		data, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s with %d design points", goldenPath, len(got))
+		t.Logf("rewrote %s with %d design points", path, len(got))
 		return
 	}
 
-	data, err := os.ReadFile(goldenPath)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("%v (run `go test -run TestGoldenStats -update ./` to create it)", err)
+		t.Fatalf("%v (run `go test -run 'TestGoldenStats|TestIntraKGoldenStats' -update ./` to create it)", err)
 	}
 	var want map[string]goldenMetrics
 	if err := json.Unmarshal(data, &want); err != nil {

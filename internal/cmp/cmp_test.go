@@ -11,7 +11,7 @@ import (
 	"confluence/internal/trace"
 )
 
-func testSystem(t *testing.T, cores int) *System {
+func testSystem(t testing.TB, cores int) *System {
 	t.Helper()
 	p := synth.OLTPDB2()
 	p.Functions = 320

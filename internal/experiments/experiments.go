@@ -74,6 +74,15 @@ type Runner struct {
 	// Workers bounds concurrent simulations when a Plan executes. Zero
 	// resolves through REPRO_WORKERS, then GOMAXPROCS (see parallel.Workers).
 	Workers int
+	// IntraWorkers enables bound-weave parallelism inside each simulation
+	// (core.Options.IntraWorkers). The runner's goroutine budget is shared:
+	// with IntraWorkers > 1 the grid fan-out shrinks to
+	// max(1, Workers/IntraWorkers), so grid-level times in-run parallelism
+	// stays bounded by the configured worker count.
+	IntraWorkers int
+	// EpochBlocks is the bound-weave epoch depth K forwarded to every cell
+	// (core.Options.EpochBlocks); 0/1 is the exact mode.
+	EpochBlocks int
 	// Progress, if set, receives a line per completed run. Calls are
 	// serialized; the callback needs no locking of its own.
 	Progress func(string)
@@ -123,9 +132,13 @@ func NewRunnerFor(sc Scale, ws []*synth.Workload) *Runner {
 }
 
 func optKey(opt core.Options) string {
-	return fmt.Sprintf("c%d-air%d.%d.%d-sw%d-la%d-priv%v",
+	// IntraWorkers is deliberately absent: worker count cannot change
+	// results (the determinism contract), so cells differing only in it
+	// share a memo slot. EpochBlocks changes results for K>1 and is part of
+	// the identity.
+	return fmt.Sprintf("c%d-air%d.%d.%d-sw%d-la%d-priv%v-k%d",
 		opt.Cores, opt.Air.Bundles, opt.Air.EntriesPerBundle, opt.Air.OverflowEntries,
-		opt.SweepBTBEntries, opt.Shift.Lookahead, opt.HistoryPerCore)
+		opt.SweepBTBEntries, opt.Shift.Lookahead, opt.HistoryPerCore, max(opt.EpochBlocks, 1))
 }
 
 // MixName labels a workload mix: the single workload's name, or the slot
@@ -154,8 +167,25 @@ func cellKey(mix []*synth.Workload, dp core.DesignPoint, opt core.Options) strin
 	return key
 }
 
-// workers resolves the runner's effective worker count.
-func (r *Runner) workers() int { return parallel.Workers(r.Workers) }
+// SplitWorkers resolves a goroutine budget shared between grid-level and
+// in-run parallelism: workers (0 = REPRO_WORKERS, then GOMAXPROCS) divided
+// by the per-simulation stepping workers, floor 1 — so grid fan-out times
+// intra workers stays ≈ the budget. It is the single definition behind
+// Runner.workers() and the CLIs' replay paths.
+func SplitWorkers(workers, intraWorkers int) int {
+	g := parallel.Workers(workers)
+	if intraWorkers > 1 {
+		g /= intraWorkers
+		if g < 1 {
+			g = 1
+		}
+	}
+	return g
+}
+
+// workers resolves the runner's effective grid-level worker count (see
+// SplitWorkers).
+func (r *Runner) workers() int { return SplitWorkers(r.Workers, r.IntraWorkers) }
 
 // Run simulates one (workload, design point, options) cell, with caching.
 // It is shorthand for RunCtx with a background context.
@@ -251,6 +281,8 @@ func (r *Runner) progress(line func() string) {
 func (r *Runner) options() core.Options {
 	opt := core.DefaultOptions()
 	opt.Cores = r.Scale.Cores
+	opt.IntraWorkers = r.IntraWorkers
+	opt.EpochBlocks = r.EpochBlocks
 	return opt
 }
 

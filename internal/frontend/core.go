@@ -24,6 +24,16 @@ type HistoryRecorder interface {
 	Record(blockNumber uint64)
 }
 
+// MemPort is the core's window onto the shared memory hierarchy: demand
+// misses and prefetch schedules obtain their fill latency through it. The
+// default is the wired *mem.Hierarchy directly; the CMP's epoch engine
+// swaps in a probe-and-log port (mem.BoundPort) for bound phases, so cores
+// can step concurrently against frozen shared state while the real LLC
+// mutations are replayed in canonical order at the weave barrier.
+type MemPort interface {
+	AccessLatency(core int, block isa.Addr) (cycles int, llcHit bool)
+}
+
 // Config assembles one core's frontend.
 type Config struct {
 	CoreID int
@@ -122,6 +132,11 @@ type Core struct {
 	// same division so results are bit-identical — saves an fdiv per block
 	// (basic blocks are short; larger n falls back to dividing).
 	issueTab [64]float64
+
+	// port, when non-nil, overrides cfg.Hier for shared-memory latencies
+	// (bound phases). Nil keeps the direct, devirtualized hierarchy call on
+	// the hot path.
+	port MemPort
 }
 
 // NewCore builds a core from its config.
@@ -170,6 +185,31 @@ func (c *Core) Prefetcher() prefetch.Prefetcher { return c.cfg.Prefetcher }
 
 // BTB exposes the wired BTB design (diagnostics).
 func (c *Core) BTB() btb.Design { return c.cfg.BTB }
+
+// Recorder returns the currently wired history recorder (nil on non-
+// generator cores).
+func (c *Core) Recorder() HistoryRecorder { return c.cfg.Recorder }
+
+// SetRecorder replaces the history recorder — the epoch engine wraps a
+// generator core's recorder in a deferring log for bound-weave runs.
+func (c *Core) SetRecorder(r HistoryRecorder) { c.cfg.Recorder = r }
+
+// SetMemPort routes shared-memory latencies through p instead of the wired
+// hierarchy; nil restores the direct path. Swapping the port changes where
+// LLC state lives in time (probe-and-log vs immediate), not the latency
+// function, so a port answering from live state is bit-identical to nil.
+func (c *Core) SetMemPort(p MemPort) { c.port = p }
+
+// fillLatency returns the shared-hierarchy latency for a block access
+// (demand or prefetch), through the bound port when one is installed.
+func (c *Core) fillLatency(b isa.Addr) int {
+	if c.port != nil {
+		lat, _ := c.port.AccessLatency(c.cfg.CoreID, b)
+		return lat
+	}
+	lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, b)
+	return lat
+}
 
 func blockKey(b isa.Addr) uint64 { return uint64(b) >> isa.BlockShift }
 
@@ -385,8 +425,7 @@ func (c *Core) access(now float64, b isa.Addr) float64 {
 			c.fill(now, b, false)
 		} else {
 			st.L1IMisses++
-			lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, b|c.asBase)
-			raw := float64(lat)
+			raw := float64(c.fillLatency(b | c.asBase))
 			if c.cfg.PredecodePenalty > 0 {
 				raw += c.cfg.PredecodePenalty
 				st.PredecodeCycles += c.cfg.PredecodePenalty * c.cfg.Exposure
@@ -445,8 +484,7 @@ func (c *Core) schedule(now float64, reqs []prefetch.Request) {
 		if _, ok := c.inflight.Ready(key); ok {
 			continue
 		}
-		lat, _ := c.cfg.Hier.AccessLatency(c.cfg.CoreID, r.Block|c.asBase)
-		ready := now + r.ExtraDelay + float64(lat)
+		ready := now + r.ExtraDelay + float64(c.fillLatency(r.Block|c.asBase))
 		if ready < now {
 			ready = now
 		}

@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+// TestProbeMatchesAccessLatency: Probe must answer exactly what
+// AccessLatency would, without mutating anything.
+func TestProbeMatchesAccessLatency(t *testing.T) {
+	h := New(DefaultConfig(), 0)
+	blocks := []isa.Addr{0x0, 0x1000, 0x2000, 0x1000, 0x40 * 999}
+	for i, b := range blocks {
+		probeLat, probeHit := h.Probe(3, b)
+		hits, misses := h.LLCHits, h.LLCMisses
+		if h.LLCHits != hits || h.LLCMisses != misses {
+			t.Fatalf("access %d: Probe moved counters", i)
+		}
+		lat, hit := h.AccessLatency(3, b)
+		if probeLat != lat || probeHit != hit {
+			t.Errorf("access %d (block %#x): Probe said (%d, %v), AccessLatency said (%d, %v)",
+				i, b, probeLat, probeHit, lat, hit)
+		}
+	}
+}
+
+// TestProbeDoesNotDisturbLRU: a long sequence of probes between accesses
+// must leave replacement decisions untouched — two hierarchies given the
+// same access stream, one with interleaved probes, end bit-identical.
+func TestProbeDoesNotDisturbLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	a := New(cfg, 0)
+	b := New(cfg, 0)
+	for i := 0; i < 50_000; i++ {
+		blk := isa.Addr(i%4096) * 64
+		a.AccessLatency(0, blk)
+		b.Probe(0, blk^0x7fc0) // unrelated probes
+		b.AccessLatency(0, blk)
+	}
+	if a.LLCHits != b.LLCHits || a.LLCMisses != b.LLCMisses {
+		t.Errorf("probes disturbed the hierarchy: %d/%d vs %d/%d",
+			a.LLCHits, a.LLCMisses, b.LLCHits, b.LLCMisses)
+	}
+}
+
+// TestBoundPortLogsAndApplies: the port answers from frozen state, defers
+// every mutation, and Apply replays them so the hierarchy ends exactly as
+// if the accesses had been direct.
+func TestBoundPortLogsAndApplies(t *testing.T) {
+	direct := New(DefaultConfig(), 0)
+	deferred := New(DefaultConfig(), 0)
+	port := NewBoundPort(deferred)
+
+	blocks := []isa.Addr{0x0, 0x1000, 0x0, 0x2000, 0x1000}
+	for _, b := range blocks {
+		direct.AccessLatency(2, b)
+		lat, hit := port.AccessLatency(2, b)
+		// Frozen semantics: every probe sees the empty epoch-start LLC.
+		if hit {
+			t.Errorf("block %#x: hit against a frozen empty LLC", b)
+		}
+		if wantLat, _ := deferred.Probe(2, b); lat != wantLat {
+			t.Errorf("block %#x: port latency %d, probe latency %d", b, lat, wantLat)
+		}
+	}
+	if port.Pending() != len(blocks) {
+		t.Fatalf("logged %d ops, want %d", port.Pending(), len(blocks))
+	}
+	if deferred.LLCMisses != 0 {
+		t.Fatal("bound phase mutated the hierarchy before Apply")
+	}
+	port.Apply()
+	if port.Pending() != 0 {
+		t.Fatal("Apply did not clear the log")
+	}
+	if direct.LLCHits != deferred.LLCHits || direct.LLCMisses != deferred.LLCMisses {
+		t.Errorf("applied hierarchy diverged from direct: %d/%d vs %d/%d",
+			deferred.LLCHits, deferred.LLCMisses, direct.LLCHits, direct.LLCMisses)
+	}
+	if direct.LLC().Len() != deferred.LLC().Len() {
+		t.Errorf("LLC contents diverged: %d vs %d blocks", deferred.LLC().Len(), direct.LLC().Len())
+	}
+}

@@ -1,0 +1,74 @@
+package phantom
+
+import (
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+// TestDeferredLogsStoreOps: in deferred mode the shared store is untouched
+// during lookups and group completions; ApplyLog replays the ops so the
+// store (contents and counters) ends exactly as a direct run of the same
+// per-core sequence.
+func TestDeferredLogsStoreOps(t *testing.T) {
+	directStore := NewStore(1024)
+	direct := New("pb", 64, 4, 16, directStore, 20)
+	deferStore := NewStore(1024)
+	deferred := New("pb", 64, 4, 16, deferStore, 20)
+	deferred.SetDeferred(true)
+
+	base := isa.Addr(0x8000)
+	for i := 0; i < GroupEntries; i++ {
+		bb := base + isa.Addr(i*8)
+		missAndResolve(direct, float64(i), bb)
+		missAndResolve(deferred, float64(i), bb)
+	}
+	if directStore.groups.Len() != 1 {
+		t.Fatalf("direct store holds %d groups, want 1", directStore.groups.Len())
+	}
+	if deferStore.groups.Len() != 0 {
+		t.Fatal("deferred mode mutated the shared store before ApplyLog")
+	}
+	// GroupEntries probe touches + 1 completed-group insert.
+	if want := GroupEntries + 1; deferred.PendingLog() != want {
+		t.Fatalf("logged %d ops, want %d", deferred.PendingLog(), want)
+	}
+	deferred.ApplyLog()
+	if deferred.PendingLog() != 0 {
+		t.Fatal("ApplyLog did not clear the log")
+	}
+	if deferStore.groups.Len() != 1 {
+		t.Fatalf("applied store holds %d groups, want 1", deferStore.groups.Len())
+	}
+	ds, as := directStore.groups.Stats(), deferStore.groups.Stats()
+	if ds != as {
+		t.Errorf("store counters diverged: direct %+v vs applied %+v", ds, as)
+	}
+}
+
+// TestDeferredReadsFrozenStore: a group another core inserted before the
+// epoch is visible to a deferred lookup (Peek), and the fill still arrives.
+func TestDeferredReadsFrozenStore(t *testing.T) {
+	store := NewStore(1024)
+	writer := New("w", 64, 4, 16, store, 20)
+	base := isa.Addr(0x8000)
+	for i := 0; i < GroupEntries; i++ {
+		missAndResolve(writer, float64(i), base+isa.Addr(i*8))
+	}
+
+	reader := New("r", 64, 4, 16, store, 20)
+	reader.SetDeferred(true)
+	reader.Lookup(100, base, base+4)
+	if reader.GroupFills != 1 {
+		t.Fatalf("deferred lookup missed the frozen group (fills=%d)", reader.GroupFills)
+	}
+	// After the metadata latency the group drains into the prefetch buffer
+	// and the next lookup hits.
+	res := reader.Lookup(125, base, base+4)
+	if !res.Hit {
+		t.Fatal("group fill did not arrive through the deferred path")
+	}
+	if reader.GroupHits != 1 {
+		t.Fatalf("GroupHits = %d, want 1", reader.GroupHits)
+	}
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"confluence/internal/synth"
+)
+
+// batchWorkload builds a small deterministic workload for batch tests.
+func batchWorkload(t testing.TB) *synth.Workload {
+	t.Helper()
+	p := synth.OLTPDB2()
+	p.Functions = 200
+	p.RequestTypes = 3
+	p.Concurrency = 3
+	p.Seed = 99
+	w, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// drainNext reads n records via Next.
+func drainNext(t *testing.T, src Source, n int) []Record {
+	t.Helper()
+	out := make([]Record, n)
+	for i := range out {
+		if err := src.Next(&out[i]); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// drainBatch reads n records via NextBatch in uneven chunks, so chunk
+// boundaries land mid-stream.
+func drainBatch(t *testing.T, src Source, n int) []Record {
+	t.Helper()
+	out := make([]Record, 0, n)
+	sizes := []int{1, 7, 64, 3, 129, 5}
+	for i := 0; len(out) < n; i++ {
+		want := sizes[i%len(sizes)]
+		if rem := n - len(out); want > rem {
+			want = rem
+		}
+		dst := make([]Record, want)
+		k, err := src.NextBatch(dst)
+		if err != nil {
+			t.Fatalf("batch at %d: %v", len(out), err)
+		}
+		if k != want {
+			t.Fatalf("batch at %d: got %d records, want %d", len(out), k, want)
+		}
+		out = append(out, dst...)
+	}
+	return out
+}
+
+// TestNextBatchMatchesNext pins the batched contract on every Source
+// implementation: NextBatch yields exactly the records the same number of
+// Next calls would have yielded — executors, wrapping file replay (across
+// the wrap boundary), and looping in-memory sources alike.
+func TestNextBatchMatchesNext(t *testing.T) {
+	w := batchWorkload(t)
+	const n = 3000
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "core.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short capture, so n records wrap the file several times.
+	if _, _, err := Capture(f, NewExecutor(w, 7), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := RecordFrom(NewExecutor(w, 3), 700) // looping, n wraps it
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sources := []struct {
+		name string
+		mk   func() Source
+	}{
+		{"Executor", func() Source { return NewExecutor(w, 42) }},
+		{"FileSource", func() Source {
+			s, err := OpenFileSource(path, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"MemSource", func() Source {
+			if err := mem.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			return NewMemSource(mem.Recs, true)
+		}},
+	}
+	for _, tc := range sources {
+		a := drainNext(t, tc.mk(), n)
+		b := drainBatch(t, tc.mk(), n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: record %d differs:\n next  %+v\n batch %+v", tc.name, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}
+
+// TestNextBatchFiniteEOF: a finite MemSource returns the short batch plus
+// io.EOF, and keeps returning io.EOF afterwards.
+func TestNextBatchFiniteEOF(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i].N = i + 1
+	}
+	src := NewMemSource(recs, false)
+	dst := make([]Record, 64)
+	n, err := src.NextBatch(dst)
+	if n != 10 || !errors.Is(err, io.EOF) {
+		t.Fatalf("got (%d, %v), want (10, EOF)", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		if dst[i].N != i+1 {
+			t.Fatalf("record %d corrupted: %+v", i, dst[i])
+		}
+	}
+	if n, err := src.NextBatch(dst); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("second batch got (%d, %v), want (0, EOF)", n, err)
+	}
+}
+
+// TestDefaultNextBatch covers the one-record adapter, including an error
+// cut mid-batch.
+func TestDefaultNextBatch(t *testing.T) {
+	calls := 0
+	next := func(rec *Record) error {
+		if calls == 5 {
+			return io.ErrUnexpectedEOF
+		}
+		calls++
+		rec.N = calls
+		return nil
+	}
+	dst := make([]Record, 8)
+	n, err := DefaultNextBatch(next, dst)
+	if n != 5 || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("got (%d, %v), want (5, ErrUnexpectedEOF)", n, err)
+	}
+	for i := 0; i < 5; i++ {
+		if dst[i].N != i+1 {
+			t.Fatalf("record %d corrupted: %+v", i, dst[i])
+		}
+	}
+}
+
+// TestReadBatchRejectsCorruption: ReadBatch must reject exactly what Read
+// rejects, with the valid prefix intact.
+func TestReadBatchRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := batchWorkload(t)
+	if _, _, err := Capture(f, NewExecutor(w, 5), 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the branch-kind byte of the 4th record.
+	data[headerBytes+3*recordBytes+10] = 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	r, err := NewReader(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Record, 16)
+	n, err := r.ReadBatch(dst)
+	if n != 3 || err == nil {
+		t.Fatalf("got (%d, %v), want (3, corruption error)", n, err)
+	}
+}
+
+// BenchmarkFileSourceNextBatch measures the batched file decode against
+// the per-record path (the satellite's "one virtual call + bounds checks
+// per basic block" claim).
+func BenchmarkFileSourceNextBatch(b *testing.B) {
+	w := batchWorkload(b)
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := Capture(f, NewExecutor(w, 1), 200_000); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	src, err := OpenFileSource(path, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+
+	b.Run("Next", func(b *testing.B) {
+		var rec Record
+		for i := 0; i < b.N; i++ {
+			if err := src.Next(&rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NextBatch64", func(b *testing.B) {
+		dst := make([]Record, 64)
+		for i := 0; i < b.N; i += len(dst) {
+			if _, err := src.NextBatch(dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

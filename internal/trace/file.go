@@ -83,8 +83,9 @@ func (t *Writer) Count() uint64 { return t.n }
 
 // Reader deserializes records written by Writer.
 type Reader struct {
-	r   *bufio.Reader
-	buf [recordBytes]byte
+	r     *bufio.Reader
+	buf   [recordBytes]byte
+	batch []byte // bulk-read scratch for ReadBatch, grown on demand
 }
 
 // NewReader validates the header and returns a record reader.
@@ -118,7 +119,53 @@ func (t *Reader) Read(rec *Record) error {
 		}
 		return err
 	}
-	b := t.buf[:]
+	return decodeRecord(t.buf[:], rec)
+}
+
+// maxBatchBytes caps ReadBatch's scratch buffer (≈512 records); larger
+// batches decode in chunks.
+const maxBatchBytes = 512 * recordBytes
+
+// ReadBatch decodes up to len(dst) records in one buffered read and one
+// validation pass, returning how many were produced. On error the first n
+// records are valid; a clean end of stream at a record boundary returns
+// io.EOF, a partial trailing record the same truncation error Read reports.
+func (t *Reader) ReadBatch(dst []Record) (int, error) {
+	n := 0
+	for n < len(dst) {
+		want := (len(dst) - n) * recordBytes
+		if want > maxBatchBytes {
+			want = maxBatchBytes
+		}
+		if cap(t.batch) < want {
+			t.batch = make([]byte, maxBatchBytes)
+		}
+		buf := t.batch[:want]
+		m, err := io.ReadFull(t.r, buf)
+		full := m / recordBytes
+		for i := 0; i < full; i++ {
+			if derr := decodeRecord(buf[i*recordBytes:(i+1)*recordBytes], &dst[n]); derr != nil {
+				return n, derr
+			}
+			n++
+		}
+		if err != nil {
+			if m%recordBytes != 0 {
+				return n, fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, io.EOF
+			}
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// decodeRecord validates and decodes one fixed-width record image. It is
+// the single decode path behind Read and ReadBatch, so both reject exactly
+// the same corruptions.
+func decodeRecord(b []byte, rec *Record) error {
 	rec.Start = isa.Addr(binary.LittleEndian.Uint64(b[0:]))
 	rec.N = int(binary.LittleEndian.Uint16(b[8:]))
 	if rec.N == 0 {

@@ -21,9 +21,34 @@ import (
 // the source to its initial state so that an identical record sequence is
 // replayed — a Source is deterministic in its construction parameters
 // (seed, file offset), and Reset must restore exactly that determinism.
+//
+// NextBatch fills dst with up to len(dst) records and returns how many were
+// produced; it is Next amortized — one interface dispatch (and, for file
+// sources, one bulk decode) per batch instead of per basic block. The
+// records NextBatch yields are exactly the records the same number of Next
+// calls would have yielded. n < len(dst) only when an error (including
+// io.EOF on finite sources) stopped the batch early; the first n records
+// are valid either way. An errored source's subsequent behavior is
+// implementation-defined (exhausted finite sources keep returning io.EOF;
+// a corrupt stream is not resumable) — callers must treat any error as
+// final for the stream. Implementations with no batched fast path can
+// delegate to DefaultNextBatch.
 type Source interface {
 	Next(rec *Record) error
+	NextBatch(dst []Record) (int, error)
 	Reset() error
+}
+
+// DefaultNextBatch is the one-record adapter behind Source.NextBatch: it
+// fills dst by calling next once per record. Sources without a bulk decode
+// path implement NextBatch as DefaultNextBatch(s.Next, dst).
+func DefaultNextBatch(next func(*Record) error, dst []Record) (int, error) {
+	for i := range dst {
+		if err := next(&dst[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(dst), nil
 }
 
 // CoreSeed derives core i's executor seed from a workload seed. It is the
@@ -74,6 +99,26 @@ func (m *MemSource) Next(rec *Record) error {
 	*rec = m.Recs[m.pos]
 	m.pos++
 	return nil
+}
+
+// NextBatch implements Source with bulk copies: whole runs of the recorded
+// sequence land in dst with one copy per wrap instead of one call per
+// record.
+func (m *MemSource) NextBatch(dst []Record) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if m.pos >= len(m.Recs) {
+			if !m.Loop || len(m.Recs) == 0 {
+				return n, io.EOF
+			}
+			m.pos = 0
+			m.Wraps++
+		}
+		c := copy(dst[n:], m.Recs[m.pos:])
+		m.pos += c
+		n += c
+	}
+	return n, nil
 }
 
 // Reset implements Source.
@@ -179,6 +224,36 @@ func (s *FileSource) Next(rec *Record) error {
 		s.first = true
 		s.Wraps++
 	}
+}
+
+// NextBatch implements Source over the Reader's bulk decode path: one
+// buffered read and one validation pass per batch, wrapping to the first
+// record at end of file exactly as Next does.
+func (s *FileSource) NextBatch(dst []Record) (int, error) {
+	n := 0
+	for n < len(dst) {
+		k, err := s.r.ReadBatch(dst[n:])
+		if k > 0 {
+			s.first = false
+			s.Records += uint64(k)
+			n += k
+		}
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, io.EOF) {
+			return n, fmt.Errorf("trace: %s: %w", s.path, err)
+		}
+		if s.first {
+			return n, fmt.Errorf("trace: %s: empty trace file", s.path)
+		}
+		if err := s.seekFirstRecord(); err != nil {
+			return n, err
+		}
+		s.first = true
+		s.Wraps++
+	}
+	return n, nil
 }
 
 // Reset implements Source.

@@ -222,6 +222,16 @@ func (e *Executor) Next(rec *Record) error {
 	return nil
 }
 
+// NextBatch implements Source. The synthetic walk cannot fail, so the batch
+// always fills; the win over repeated Next calls is one interface dispatch
+// per batch and a devirtualized inner loop.
+func (e *Executor) NextBatch(dst []Record) (int, error) {
+	for i := range dst {
+		e.Next(&dst[i])
+	}
+	return len(dst), nil
+}
+
 // condOutcome resolves a conditional branch. Loop-controlling sites run a
 // quasi-deterministic iteration counter (the site's characteristic trip
 // count with occasional jitter); other conditionals are biased coin flips.

@@ -1,0 +1,195 @@
+package confluence
+
+import (
+	"math"
+	"testing"
+
+	"confluence/internal/core"
+)
+
+// intraDesigns covers every shared-structure flavor the bound-weave engine
+// must handle: SHIFT's shared history + AirBTB (Confluence), PhantomBTB's
+// shared group store, plain FDP (no shared prefetcher state), and the
+// SHIFT-over-conventional-BTB point.
+var intraDesigns = []DesignPoint{Confluence, PhantomSHIFT, FDP1K, Base1KSHIFT}
+
+// statsEqual fails the test if two results differ in any counter, aggregate
+// or per core.
+func statsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if *a.Stats != *b.Stats {
+		t.Errorf("%s: aggregate stats diverged:\n a %+v\n b %+v", label, *a.Stats, *b.Stats)
+	}
+	if len(a.PerCore) != len(b.PerCore) {
+		t.Fatalf("%s: per-core lengths differ: %d vs %d", label, len(a.PerCore), len(b.PerCore))
+	}
+	for i := range a.PerCore {
+		if *a.PerCore[i] != *b.PerCore[i] {
+			t.Errorf("%s: core %d stats diverged", label, i)
+		}
+	}
+}
+
+// TestIntraK1BitIdentity is the bound-weave anchor: at K=1 the canonical
+// weave order is the serial round-robin, so any in-run worker count must be
+// bit-identical to the serial engine — per design, homogeneous and
+// consolidated alike.
+func TestIntraK1BitIdentity(t *testing.T) {
+	w, err := BuildWorkload("OLTP-DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := BuildWorkload("Web-Frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(dp DesignPoint, mix []*Workload, intra int) *Result {
+		cfg := Config{
+			Design: dp, Cores: 4, WarmupInstr: 20_000, MeasureInstr: 40_000,
+			IntraParallelism: intra,
+		}
+		if len(mix) == 1 {
+			cfg.Workload = mix[0]
+		} else {
+			cfg.Mix = mix
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v intra=%d: %v", dp, intra, err)
+		}
+		return res
+	}
+	for _, dp := range intraDesigns {
+		serial := run(dp, []*Workload{w}, 1)
+		for _, intra := range []int{2, 8} {
+			statsEqual(t, dp.String(), serial, run(dp, []*Workload{w}, intra))
+		}
+	}
+	// A heterogeneous mix: consolidation shares the history across address
+	// spaces and must stay exact too.
+	serialMix := run(Confluence, []*Workload{w, wb}, 1)
+	for _, intra := range []int{2, 8} {
+		statsEqual(t, "Confluence mix", serialMix, run(Confluence, []*Workload{w, wb}, intra))
+	}
+}
+
+// TestIntraKDeterminism pins the K>1 approximation's own contract: for a
+// fixed K the result is a pure function of the configuration — bit-equal
+// for any worker count — even though it is not the serial result.
+func TestIntraKDeterminism(t *testing.T) {
+	w, err := BuildWorkload("OLTP-DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(dp DesignPoint, intra int) *Result {
+		res, err := Run(Config{
+			Workload: w, Design: dp, Cores: 4,
+			WarmupInstr: 20_000, MeasureInstr: 40_000,
+			IntraParallelism: intra, EpochBlocks: 8,
+		})
+		if err != nil {
+			t.Fatalf("%v intra=%d: %v", dp, intra, err)
+		}
+		return res
+	}
+	for _, dp := range intraDesigns {
+		one := run(dp, 1)
+		for _, intra := range []int{2, 8} {
+			statsEqual(t, dp.String(), one, run(dp, intra))
+		}
+	}
+}
+
+// TestIntraKGoldenStats pins the K=8 bound-weave approximation against its
+// own golden file, exactly as TestGoldenStats pins the serial engine:
+// every design point, byte-for-byte. Regenerate both files together with
+// `go test -run 'TestGoldenStats|TestIntraKGoldenStats' -update ./`.
+func TestIntraKGoldenStats(t *testing.T) {
+	got := goldenRunWith(t, func(cfg *Config) {
+		cfg.EpochBlocks = 8
+		cfg.IntraParallelism = 2
+	})
+	verifyGolden(t, "testdata/golden_intra_k8.json", got)
+}
+
+// TestIntraKTolerance bounds the K>1 approximation's error: on the paper's
+// five workloads, IPC and L1-I MPKI under K=8 must sit within 1% of the
+// serial engine. The one-epoch-delayed shared-timing feedback is the only
+// difference, so a larger gap means the deferral is leaking into private
+// state somewhere.
+func TestIntraKTolerance(t *testing.T) {
+	within := func(metric string, name string, got, want float64) {
+		t.Helper()
+		// Guard the zero-valued case (a workload with no misses) with an
+		// absolute floor.
+		if math.Abs(got-want) > 0.01*math.Max(math.Abs(want), 1e-9) {
+			t.Errorf("%s: %s = %.6g vs serial %.6g (>1%%)", name, metric, got, want)
+		}
+	}
+	for _, name := range PaperWorkloadNames() {
+		w, err := BuildWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Config{
+			Workload: w, Design: Confluence, Cores: 4,
+			WarmupInstr: 100_000, MeasureInstr: 200_000,
+		}
+		serial, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgK := base
+		cfgK.EpochBlocks = 8
+		cfgK.IntraParallelism = 2
+		approx, err := Run(cfgK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		within("IPC", name, approx.Stats.IPC(), serial.Stats.IPC())
+		within("L1-I MPKI", name, approx.Stats.L1IMPKI(), serial.Stats.L1IMPKI())
+	}
+}
+
+// TestIntraRaceMix is the -race workout: an 8-core heterogeneous
+// consolidation with 4 bound-phase workers at K=8 exercises concurrent
+// bound stepping (frozen shared reads from every core while the generator
+// cores log history records) under the race detector in CI.
+func TestIntraRaceMix(t *testing.T) {
+	names := []string{"OLTP-DB2", "Web-Frontend", "DSS-Qrys"}
+	var mix []*Workload
+	for _, n := range names {
+		w, err := BuildWorkload(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix = append(mix, w)
+	}
+	res, err := Run(Config{
+		Mix: mix, Design: Confluence, Cores: 8,
+		WarmupInstr: 20_000, MeasureInstr: 40_000,
+		IntraParallelism: 4, EpochBlocks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions == 0 || res.Stats.IPC() <= 0 {
+		t.Fatal("race mix run produced no work")
+	}
+	// And the same mix through Options plumbing (core.Options rather than
+	// Config), as experiments wire it.
+	opt := core.DefaultOptions()
+	opt.Cores = 8
+	opt.IntraWorkers = 4
+	opt.EpochBlocks = 8
+	res2, err := Run(Config{
+		Mix: mix, Design: PhantomSHIFT, Cores: 8,
+		WarmupInstr: 20_000, MeasureInstr: 40_000, Options: opt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Instructions == 0 {
+		t.Fatal("options-plumbed race run produced no work")
+	}
+}
