@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json bench-intra bench-compare fmt vet cover fuzz examples ci
+.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke fmt vet cover fuzz examples ci
 
 all: build test
 
@@ -57,6 +57,21 @@ BENCH_AFTER  ?= BENCH_pr5_after.json
 bench-compare:
 	go run ./cmd/benchjson -compare -floor 100000 $(BENCH_BEFORE) $(BENCH_AFTER)
 
+# bench-serve snapshots the serving layer's job latency (p50/p99 at 1, 8,
+# and 64 concurrent clients) as a benchjson artifact; the committed
+# baseline is BENCH_pr6_serve.json.
+SERVE_BENCH_OUT ?= BENCH_serve.json
+bench-serve:
+	go test ./internal/serve -run '^$$' -bench BenchmarkServeLatency -benchtime=20x > $(SERVE_BENCH_OUT).txt
+	go run ./cmd/benchjson < $(SERVE_BENCH_OUT).txt > $(SERVE_BENCH_OUT)
+	@rm -f $(SERVE_BENCH_OUT).txt
+
+# serve-smoke boots the real confluence-serve binary (race-enabled),
+# submits the golden design point over HTTP, compares the served stats
+# against testdata/golden.json, and SIGTERMs it expecting a clean drain.
+serve-smoke:
+	SERVE_SMOKE=1 go test ./cmd/confluence-serve -run TestServeSmoke -count=1 -v
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
@@ -80,7 +95,8 @@ fuzz:
 examples:
 	go run ./examples/quickstart
 	go run ./examples/consolidation_study
+	go run ./examples/serve_job
 
 # `cover` runs the full `go test ./...` suite itself, so ci does not also
 # depend on the plain `test` target (race is the only second full pass).
-ci: fmt vet build cover examples race bench fuzz
+ci: fmt vet build cover examples race bench fuzz serve-smoke

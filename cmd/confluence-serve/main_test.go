@@ -1,0 +1,170 @@
+package main
+
+// TestServeSmoke is the end-to-end daemon check the Makefile's
+// serve-smoke target runs (gated behind SERVE_SMOKE=1 because it builds
+// and boots the real binary): build confluence-serve race-enabled, start
+// it, submit the golden design point over HTTP, compare the served stats
+// against testdata/golden.json, then SIGTERM and expect a clean drain and
+// exit 0.
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("SERVE_SMOKE") != "1" {
+		t.Skip("set SERVE_SMOKE=1 to run the daemon smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "confluence-serve")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building daemon: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "120s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "confluence-serve: listening on <addr> ...".
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	go func() { // keep the pipe drained
+		for sc.Scan() {
+		}
+	}()
+
+	// The golden workload and Confluence design, as a JobSpec.
+	spec := `{
+		"workload": "OLTP-DB2",
+		"profile": {"functions": 520, "request_types": 6, "concurrency": 6, "seed": 36893},
+		"design": "Confluence",
+		"cores": 2, "warmup_instr": 30000, "measure_instr": 60000
+	}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for sum.State != "done" {
+		if sum.State == "failed" || sum.State == "cancelled" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", sum.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(base + "/jobs/" + sum.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(base + "/jobs/" + sum.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Rows []struct {
+			Stats struct {
+				Instructions uint64  `json:"Instructions"`
+				Cycles       float64 `json:"Cycles"`
+				BTBMisses    uint64  `json:"BTBMisses"`
+				L1IMisses    uint64  `json:"L1IMisses"`
+			} `json:"stats"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(page.Rows) != 1 {
+		t.Fatalf("result rows = %d", len(page.Rows))
+	}
+	st := page.Rows[0].Stats
+	ipc := float64(st.Instructions) / st.Cycles
+	perKilo := func(n uint64) float64 { return float64(n) / float64(st.Instructions) * 1000 }
+
+	golden, err := os.ReadFile("../../testdata/golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pins map[string]struct {
+		IPC     float64 `json:"ipc"`
+		L1IMPKI float64 `json:"l1i_mpki"`
+		BTBMPKI float64 `json:"btb_mpki"`
+	}
+	if err := json.Unmarshal(golden, &pins); err != nil {
+		t.Fatal(err)
+	}
+	pin := pins["Confluence"]
+	for _, c := range []struct {
+		what      string
+		got, want float64
+	}{
+		{"IPC", ipc, pin.IPC},
+		{"L1IMPKI", perKilo(st.L1IMisses), pin.L1IMPKI},
+		{"BTBMPKI", perKilo(st.BTBMisses), pin.BTBMPKI},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9*math.Max(math.Abs(c.want), 1) {
+			t.Errorf("served %s = %.12g, golden pins %.12g", c.what, c.got, c.want)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM → drain → exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

@@ -6,6 +6,7 @@
 //	confluence-sim [-scale small|default|paper] [-workers N] [-intra-workers N] [-intra-epoch K] [-run fig1,table2,fig6,...] [-v]
 //	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
 //	confluence-sim -mix OLTP-DB2,Web-Frontend [-scale ...]
+//	confluence-sim -job job.json [-v]
 //
 // The default runs everything at the "default" scale (8 cores, 3M
 // instructions per core), fanning independent simulation cells out across
@@ -31,6 +32,11 @@
 // shared-vs-private SHIFT history ablation, reported as harmonic-mean IPC
 // and weighted speedup against each workload running alone. The full 2-,
 // 4-, and 5-workload sweep runs as the `mixstudy` experiment.
+//
+// With -job, the binary executes a serialized JobSpec (the same JSON
+// schema the confluence-serve daemon accepts) through the daemon's
+// executor, so a spec can be debugged locally before being submitted to a
+// server — the results are identical by construction.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"confluence"
 	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
+	"confluence/internal/serve"
 )
 
 func main() {
@@ -56,6 +63,7 @@ func main() {
 	traceDir := flag.String("trace", "", "replay a capture directory through the timing model instead of the synthetic suite")
 	traceWorkload := flag.String("trace-workload", "", "workload the capture was taken from (restores program image + calibration)")
 	mixFlag := flag.String("mix", "", "comma-separated workload names: run the consolidation study on this mix (core i runs workload i mod N)")
+	jobFlag := flag.String("job", "", "execute a JobSpec JSON file (the confluence-serve schema) and print its result rows")
 	flag.Parse()
 
 	sc := experiments.ScaleFromEnv()
@@ -70,6 +78,12 @@ func main() {
 	ctx, stop := cliutil.InterruptContext()
 	defer stop()
 
+	if *jobFlag != "" {
+		if err := runJobFile(ctx, *jobFlag, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *traceDir != "" {
 		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *workers, *intraWorkers, *intraEpoch); err != nil {
 			fatal(err)
@@ -255,6 +269,37 @@ func runMix(ctx context.Context, sc experiments.Scale, spec string, workers, int
 		return err
 	}
 	fmt.Println(experiments.MixStudyTable(rows))
+	return nil
+}
+
+// runJobFile executes a JobSpec file through the serving executor — the
+// exact path a confluence-serve worker takes — and prints the result.
+func runJobFile(ctx context.Context, path string, verbose bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := confluence.ParseJobSpec(data)
+	if err != nil {
+		return err
+	}
+	var emit func(experiments.ProgressEvent)
+	if verbose {
+		emit = func(e experiments.ProgressEvent) { fmt.Fprintln(os.Stderr, "  "+e.String()) }
+	}
+	res, err := serve.ExecuteSpec(ctx, spec, emit)
+	if err != nil {
+		return err
+	}
+	if res.Kind == confluence.KindMixStudy {
+		fmt.Println(experiments.MixStudyTable(res.MixRows))
+		return nil
+	}
+	fmt.Printf("%-20s %-18s %7s %8s %8s %9s\n", "mix", "design", "IPC", "btbMPKI", "l1iMPKI", "area mm2")
+	for _, c := range res.Cells {
+		fmt.Printf("%-20s %-18s %7.3f %8.1f %8.1f %9.3f\n",
+			c.Mix, c.Design, c.Stats.IPC(), c.Stats.BTBMPKI(), c.Stats.L1IMPKI(), c.OverheadMM2)
+	}
 	return nil
 }
 

@@ -60,6 +60,14 @@ const (
 	Ideal         = core.Ideal
 )
 
+// DesignByName resolves a design point from its String form (the names
+// printed in tables and pinned in golden files) — the vocabulary
+// serialized JobSpecs use.
+func DesignByName(name string) (DesignPoint, bool) { return core.DesignByName(name) }
+
+// DesignNames lists every design point's name in design-point order.
+func DesignNames() []string { return core.DesignNames() }
+
 // Workload is a generated synthetic server workload.
 type Workload = synth.Workload
 
@@ -149,8 +157,18 @@ func WorkloadFromTrace(path string) (*Workload, error) {
 // (core-000.trace, core-001.trace, ...), each at least instrPerCore
 // instructions long, seeded exactly as a live Run seeds its cores — so a
 // replay of the capture with up to `cores` cores is record-identical to
-// the live simulation it stands in for.
+// the live simulation it stands in for. It is CaptureTraceCtx with a
+// background context.
 func CaptureTrace(w *Workload, dir string, cores int, instrPerCore uint64) error {
+	return CaptureTraceCtx(context.Background(), w, dir, cores, instrPerCore)
+}
+
+// CaptureTraceCtx is CaptureTrace honoring mid-capture cancellation: the
+// per-core capture loop polls ctx every few thousand records, removes the
+// truncated (unusable) file it was writing, and returns ctx's error. A
+// capture that completes is byte-identical whether or not a context is
+// attached.
+func CaptureTraceCtx(ctx context.Context, w *Workload, dir string, cores int, instrPerCore uint64) error {
 	if w == nil || w.Prog == nil {
 		return fmt.Errorf("confluence: CaptureTrace needs a generated workload")
 	}
@@ -161,21 +179,22 @@ func CaptureTrace(w *Workload, dir string, cores int, instrPerCore uint64) error
 		return err
 	}
 	for i := 0; i < cores; i++ {
-		if err := captureCore(w, filepath.Join(dir, fmt.Sprintf("core-%03d.trace", i)),
-			trace.CoreSeed(w.Prof.Seed, i), instrPerCore); err != nil {
+		path := filepath.Join(dir, fmt.Sprintf("core-%03d.trace", i))
+		if err := captureCore(ctx, w, path, trace.CoreSeed(w.Prof.Seed, i), instrPerCore); err != nil {
+			os.Remove(path) // a truncated capture must not look replayable
 			return err
 		}
 	}
 	return nil
 }
 
-func captureCore(w *Workload, path string, seed, instr uint64) error {
+func captureCore(ctx context.Context, w *Workload, path string, seed, instr uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if _, _, err := trace.Capture(f, trace.NewExecutor(w, seed), instr); err != nil {
+	if _, _, err := trace.CaptureCtx(ctx, f, trace.NewExecutor(w, seed), instr); err != nil {
 		return err
 	}
 	return f.Close()
@@ -253,8 +272,19 @@ type Result struct {
 	RelativeArea float64
 }
 
-// Run assembles and simulates one design point.
+// Run assembles and simulates one design point. It is RunCtx with a
+// background context.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx assembles and simulates one design point, honoring cancellation
+// mid-run: the epoch engine polls ctx at every epoch barrier, so a
+// cancelled simulation returns ctx.Err() within a few dozen basic blocks
+// per core instead of running to its instruction target. A run that
+// completes is bit-identical to Run — the poll feeds nothing back into
+// the timing model.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	mix := cfg.Mix
 	switch {
 	case len(mix) == 0 && cfg.Workload == nil:
@@ -307,8 +337,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The deferred Close releases file-backed trace sources on every exit
+	// path, success and error alike (the assembly above closes its own
+	// partial opens; see TestRunErrorClosesSources).
 	defer sys.Close()
-	st, err := sys.Run(cfg.WarmupInstr, cfg.MeasureInstr)
+	st, err := sys.RunCtx(ctx, cfg.WarmupInstr, cfg.MeasureInstr)
 	if err != nil {
 		return nil, err
 	}
@@ -357,15 +390,16 @@ func DefaultParallelism() int { return parallel.Workers(0) }
 // returns results in input order — never completion order, so output is
 // deterministic for any worker count. A zero parallelism falls back to the
 // first config's Parallelism, then REPRO_WORKERS, then GOMAXPROCS. The
-// first error cancels the remaining runs.
+// first error cancels the remaining runs, including simulations already
+// in flight (RunCtx polls the context mid-run).
 func RunMany(ctx context.Context, parallelism int, cfgs []Config) ([]*Result, error) {
 	if parallelism <= 0 && len(cfgs) > 0 {
 		parallelism = cfgs[0].Parallelism
 	}
 	res := make([]*Result, len(cfgs))
 	err := parallel.ForEach(ctx, parallelism, len(cfgs),
-		func(_ context.Context, i int) error {
-			r, err := Run(cfgs[i])
+		func(ctx context.Context, i int) error {
+			r, err := RunCtx(ctx, cfgs[i])
 			res[i] = r
 			return err
 		})
@@ -377,6 +411,12 @@ func RunMany(ctx context.Context, parallelism int, cfgs []Config) ([]*Result, er
 
 // Compare runs several design points on one workload and returns speedups
 // relative to the first design in the list.
+//
+// Deprecated: use CompareWith, which takes a context (cancellation reaches
+// simulations mid-run) and a full base Config (cores, warmup/measure,
+// trace replay, parallelism). Compare(w, designs, cores) is exactly
+// CompareWith(context.Background(), Config{Workload: w, Cores: cores},
+// designs) and is kept as a thin wrapper for existing callers.
 func Compare(w *Workload, designs []DesignPoint, cores int) (map[DesignPoint]float64, error) {
 	return CompareWith(context.Background(), Config{Workload: w, Cores: cores}, designs)
 }

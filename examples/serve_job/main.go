@@ -1,0 +1,86 @@
+// Serving quickstart: boot the job daemon in-process, submit a JobSpec
+// over HTTP exactly as a remote client would, follow its progress, and
+// page the result — the programmatic twin of running `confluence-serve`
+// and curling it. The served stats are bit-identical to calling
+// confluence.Run with the same parameters directly (the serving
+// determinism contract; see README "Serving").
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"confluence"
+	"confluence/internal/serve"
+)
+
+func main() {
+	// A daemon with one worker and a 16-deep queue; Handler() is the same
+	// mux `confluence-serve` listens on.
+	srv := serve.New(serve.Config{Workers: 1, QueueDepth: 16})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The job, as the strict JSON schema a remote client POSTs. Unknown
+	// fields or names would be rejected with 400.
+	spec := `{
+		"workload": "OLTP-DB2",
+		"design": "Confluence",
+		"cores": 2, "no_warmup": true, "measure_instr": 120000
+	}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted %s (%d): state %s\n", job.ID, resp.StatusCode, job.State)
+
+	// Poll to completion (clients wanting push get the same events over
+	// SSE from /jobs/{id}/events).
+	for job.State != "done" && job.State != "failed" && job.State != "cancelled" {
+		time.Sleep(10 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/jobs/" + job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	fmt.Printf("job %s finished: %s\n", job.ID, job.State)
+
+	// Page the result rows (canonical spec-expansion order).
+	resp, err = http.Get(ts.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var page struct {
+		Rows []struct {
+			Mix    string            `json:"mix"`
+			Design string            `json:"design"`
+			Stats  *confluence.Stats `json:"stats"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, r := range page.Rows {
+		fmt.Printf("%-12s %-12s IPC=%.3f btbMPKI=%.1f l1iMPKI=%.1f\n",
+			r.Mix, r.Design, r.Stats.IPC(), r.Stats.BTBMPKI(), r.Stats.L1IMPKI())
+	}
+}

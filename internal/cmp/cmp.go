@@ -35,6 +35,7 @@
 package cmp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -84,10 +85,20 @@ func (s *System) SetIntra(workers, epochBlocks int) {
 // the boundary. It returns the aggregate measured stats. A source failure
 // (a corrupt or exhausted finite trace) aborts the run.
 func (s *System) Run(warmup, measure uint64) (*frontend.Stats, error) {
+	return s.RunCtx(context.Background(), warmup, measure)
+}
+
+// RunCtx is Run honoring mid-run cancellation: the epoch engine polls ctx
+// at every epoch barrier (a few dozen basic blocks per core at most), so a
+// cancelled simulation returns ctx.Err() promptly instead of running to
+// its instruction target. The poll reads no simulated state and feeds
+// nothing back into the timing model, so a run that completes is
+// bit-identical whether or not a context is attached.
+func (s *System) RunCtx(ctx context.Context, warmup, measure uint64) (*frontend.Stats, error) {
 	if s.eng == nil {
 		s.eng = newEngine(s)
 	}
-	if err := s.phase(warmup); err != nil {
+	if err := s.phase(ctx, warmup); err != nil {
 		return nil, err
 	}
 	for _, c := range s.Cores {
@@ -96,7 +107,7 @@ func (s *System) Run(warmup, measure uint64) (*frontend.Stats, error) {
 	if s.Hier != nil {
 		s.Hier.ResetStats()
 	}
-	if err := s.phase(measure); err != nil {
+	if err := s.phase(ctx, measure); err != nil {
 		return nil, err
 	}
 
@@ -109,11 +120,11 @@ func (s *System) Run(warmup, measure uint64) (*frontend.Stats, error) {
 
 // phase advances every core by approximately n instructions through the
 // epoch engine.
-func (s *System) phase(n uint64) error {
+func (s *System) phase(ctx context.Context, n uint64) error {
 	if n == 0 {
 		return nil
 	}
-	return s.eng.phase(n)
+	return s.eng.phase(ctx, n)
 }
 
 // decodeBatch is the per-core record decode-ahead depth: one NextBatch call
@@ -208,16 +219,16 @@ func newEngine(s *System) *engine {
 }
 
 // phase advances every core by approximately n instructions.
-func (e *engine) phase(n uint64) error {
+func (e *engine) phase(ctx context.Context, n uint64) error {
 	e.active = e.active[:0]
 	for i, c := range e.s.Cores {
 		e.target[i] = c.Stats().Instructions + n
 		e.active = append(e.active, i)
 	}
 	if e.k == 1 {
-		return e.phaseExact()
+		return e.phaseExact(ctx)
 	}
-	return e.phaseBound()
+	return e.phaseBound(ctx)
 }
 
 // refill tops core c's queue up from its source. One NextBatch call
@@ -252,10 +263,13 @@ func (e *engine) dryErr(c int) error {
 // dependence), and the weave executes the full steps serially in canonical
 // round-robin order — bit-identical to the serial simulator by
 // construction, for any worker count.
-func (e *engine) phaseExact() error {
+func (e *engine) phaseExact(ctx context.Context) error {
 	p := e.startPool(e.refill)
 	defer p.stop()
 	for len(e.active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.barrier(p, e.refill)
 		// An epoch's round count is the shortest active queue: every round
 		// steps each remaining core exactly once, in core order, exactly as
@@ -295,10 +309,13 @@ func (e *engine) phaseExact() error {
 // phaseBound is the K>1 engine: the bound phase steps each active core up
 // to K blocks against frozen shared state (logging shared ops), the weave
 // applies the logs in canonical core order and compacts the active list.
-func (e *engine) phaseBound() error {
+func (e *engine) phaseBound(ctx context.Context) error {
 	p := e.startPool(e.boundStep)
 	defer p.stop()
 	for len(e.active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.barrier(p, e.boundStep)
 		var firstDry = -1
 		w := 0

@@ -92,6 +92,30 @@ func (d DesignPoint) String() string {
 	return fmt.Sprintf("DesignPoint(%d)", int(d))
 }
 
+// DesignByName resolves a design point from its String form (the names
+// used in tables, golden files, and serialized job specs).
+func DesignByName(name string) (DesignPoint, bool) {
+	for d, n := range designNames {
+		if n == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// DesignNames lists every design point's name in design-point order — the
+// canonical vocabulary for serialized job specs.
+func DesignNames() []string {
+	names := make([]string, 0, len(designNames))
+	for d := Base1K; ; d++ {
+		n, ok := designNames[d]
+		if !ok {
+			return names
+		}
+		names = append(names, n)
+	}
+}
+
 // UsesSHIFT reports whether the design point employs the shared stream
 // prefetcher.
 func (d DesignPoint) UsesSHIFT() bool {
@@ -307,6 +331,13 @@ func NewMixSystem(mix []*synth.Workload, dp DesignPoint, opt Options) (*System, 
 	cores := make([]*frontend.Core, opt.Cores)
 	srcs := make([]trace.Source, opt.Cores)
 	generated := make([]bool, len(seen)) // slots with a history generator
+	// Every early return below this point must release the file-backed
+	// sources already opened for earlier cores (closeAll); the leak-check
+	// test TestAssemblyErrorClosesSources audits exactly these paths.
+	fail := func(i int, err error) (*System, error) {
+		closeAll(srcs[:i])
+		return nil, err
+	}
 	for i := 0; i < opt.Cores; i++ {
 		slot := slotOf[i%len(mix)]
 		w := mix[i%len(mix)]
@@ -346,11 +377,11 @@ func NewMixSystem(mix []*synth.Workload, dp DesignPoint, opt Options) (*System, 
 		case SweepBTB:
 			e := opt.SweepBTBEntries
 			if e <= 0 {
-				return nil, fmt.Errorf("core: SweepBTB requires SweepBTBEntries")
+				return fail(i, fmt.Errorf("core: SweepBTB requires SweepBTBEntries"))
 			}
 			cfg.BTB = btb.NewConventional(fmt.Sprintf("Conv%d", e), e/4, 4, 0)
 		default:
-			return nil, fmt.Errorf("core: unknown design point %v", dp)
+			return fail(i, fmt.Errorf("core: unknown design point %v", dp))
 		}
 
 		// Instruction prefetcher.
@@ -379,8 +410,7 @@ func NewMixSystem(mix []*synth.Workload, dp DesignPoint, opt Options) (*System, 
 		cores[i] = frontend.NewCore(cfg)
 		src, err := sources(i)
 		if err != nil {
-			closeAll(srcs[:i])
-			return nil, fmt.Errorf("core: source for core %d: %w", i, err)
+			return fail(i, fmt.Errorf("core: source for core %d: %w", i, err))
 		}
 		srcs[i] = src
 	}

@@ -86,6 +86,12 @@ type Runner struct {
 	// Progress, if set, receives a line per completed run. Calls are
 	// serialized; the callback needs no locking of its own.
 	Progress func(string)
+	// OnProgress, if set, receives the structured form of the same
+	// per-completed-run event (the wire format the serving layer streams
+	// over SSE). Calls are serialized with Progress under one lock, and
+	// when both callbacks are set each completed run reaches OnProgress
+	// first, then Progress with the formatted line of the same event.
+	OnProgress func(ProgressEvent)
 
 	mu         sync.Mutex // guards cache
 	cache      map[string]*cacheEntry
@@ -244,8 +250,26 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// simulate runs one cell uncached. Simulations are not interruptible
-// mid-run; cancellation is honored between cells.
+// ProgressEvent is the structured form of one completed simulation cell —
+// the runner's Progress line with its fields still separate, so the
+// serving layer can serialize it (SSE, JSON logs) without re-parsing
+// formatted text.
+type ProgressEvent struct {
+	Mix     string  `json:"mix"`
+	Design  string  `json:"design"`
+	IPC     float64 `json:"ipc"`
+	BTBMPKI float64 `json:"btb_mpki"`
+	L1IMPKI float64 `json:"l1i_mpki"`
+}
+
+// String formats the event exactly as Runner.Progress lines always read.
+func (e ProgressEvent) String() string {
+	return fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
+		e.Mix, e.Design, e.IPC, e.BTBMPKI, e.L1IMPKI)
+}
+
+// simulate runs one cell uncached. Cancellation reaches a started cell
+// mid-run: the epoch engine polls ctx at every epoch barrier.
 func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -255,26 +279,34 @@ func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.De
 		return nil, nil, err
 	}
 	defer sys.Close()
-	st, err := sys.Run(r.Scale.Warmup, r.Scale.Measure)
+	st, err := sys.RunCtx(ctx, r.Scale.Warmup, r.Scale.Measure)
 	if err != nil {
 		return nil, nil, err
 	}
-	r.progress(func() string {
-		return fmt.Sprintf("%-16s %-18s IPC=%.3f btbMPKI=%5.1f l1iMPKI=%5.1f",
-			MixName(mix), dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI())
+	r.progress(func() ProgressEvent {
+		return ProgressEvent{
+			Mix: MixName(mix), Design: dp.String(),
+			IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
+		}
 	})
 	return st, sys.PerCoreSnapshot(), nil
 }
 
-// progress emits one serialized Progress line; the line is only formatted
-// when a callback is installed.
-func (r *Runner) progress(line func() string) {
-	if r.Progress == nil {
+// progress emits one serialized progress event to whichever callbacks are
+// installed; the event is only built when at least one is.
+func (r *Runner) progress(build func() ProgressEvent) {
+	if r.Progress == nil && r.OnProgress == nil {
 		return
 	}
 	r.progressMu.Lock()
 	defer r.progressMu.Unlock()
-	r.Progress(line())
+	e := build()
+	if r.OnProgress != nil {
+		r.OnProgress(e)
+	}
+	if r.Progress != nil {
+		r.Progress(e.String())
+	}
 }
 
 // options returns the default options at the runner's scale.

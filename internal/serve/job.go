@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"confluence"
+	"confluence/internal/experiments"
+	"confluence/internal/frontend"
+	"confluence/internal/parallel"
+)
+
+// State is a job's lifecycle position. Transitions are monotone:
+// queued → running → {done, failed, cancelled}, with queued → cancelled
+// for jobs cancelled before a worker picked them up.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's progress stream — the SSE wire format.
+// Seq starts at 1 and increases by exactly 1 per event within a job, so a
+// client can detect gaps. Cell carries the serialized experiments
+// progress event for "cell" events; Error carries the failure message of
+// a "failed" event.
+type Event struct {
+	Seq   int                        `json:"seq"`
+	Type  string                     `json:"type"` // queued|started|cell|done|failed|cancelled
+	Cell  *experiments.ProgressEvent `json:"cell,omitempty"`
+	Error string                     `json:"error,omitempty"`
+}
+
+// CellResult is one completed simulation cell of a point or sweep job:
+// the full measured stats (aggregate and per core), so a client can
+// verify bit-identity against a direct library Run.
+type CellResult struct {
+	Mix          string            `json:"mix"`
+	Design       string            `json:"design"`
+	Stats        *frontend.Stats   `json:"stats"`
+	PerCore      []*frontend.Stats `json:"per_core,omitempty"`
+	OverheadMM2  float64           `json:"overhead_mm2"`
+	RelativeArea float64           `json:"relative_area"`
+}
+
+// Result is a finished job's payload: Cells for point/sweep jobs, MixRows
+// for mixstudy jobs. Row order is canonical (spec expansion order), never
+// completion order, so paginated reads are deterministic.
+type Result struct {
+	Kind    string               `json:"kind"`
+	Cells   []CellResult         `json:"cells,omitempty"`
+	MixRows []experiments.MixRow `json:"mix_rows,omitempty"`
+}
+
+// rowCount returns how many paginatable rows the result holds.
+func (r *Result) rowCount() int {
+	if r.Kind == confluence.KindMixStudy {
+		return len(r.MixRows)
+	}
+	return len(r.Cells)
+}
+
+// rows returns the half-open row range [lo, hi) as a JSON-marshalable
+// slice.
+func (r *Result) rows(lo, hi int) any {
+	if r.Kind == confluence.KindMixStudy {
+		return r.MixRows[lo:hi]
+	}
+	return r.Cells[lo:hi]
+}
+
+// Job is one queued/running/finished unit of work.
+type Job struct {
+	ID       string              `json:"id"`
+	Priority int                 `json:"priority"`
+	Spec     *confluence.JobSpec `json:"spec"`
+
+	seq       int64 // submission order, tie-break within a priority
+	heapIndex int   // position in the queue heap; -1 when not queued
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on every event append
+	state  State
+	events []Event
+	cancel context.CancelFunc // set while running
+	result *Result
+	errMsg string
+}
+
+func newJob(id string, seq int64, spec *confluence.JobSpec) *Job {
+	j := &Job{ID: id, Priority: spec.Priority, Spec: spec, seq: seq, heapIndex: -1, state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	j.appendEventLocked(Event{Type: "queued"})
+	return j
+}
+
+// appendEventLocked appends e with the next sequence number and wakes
+// event waiters. Callers hold j.mu or are the constructor.
+func (j *Job) appendEventLocked(e Event) {
+	e.Seq = len(j.events) + 1
+	j.events = append(j.events, e)
+	if j.cond != nil {
+		j.cond.Broadcast()
+	}
+}
+
+// emit appends an event.
+func (j *Job) emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendEventLocked(e)
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// eventsSince returns the events after cursor (a previous length) and
+// whether the job has reached a terminal state. It blocks until at least
+// one new event exists, the job is terminal, or wakeup makes the wait
+// observable from outside (the SSE handler broadcasts on client
+// disconnect).
+func (j *Job) eventsSince(cursor int, cancelled func() bool) ([]Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.events) <= cursor && !j.state.terminal() && !cancelled() {
+		j.cond.Wait()
+	}
+	evs := make([]Event, len(j.events)-cursor)
+	copy(evs, j.events[cursor:])
+	return evs, j.state.terminal()
+}
+
+// wake re-evaluates eventsSince waiters (used on client disconnect).
+func (j *Job) wake() {
+	j.mu.Lock()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// Summary is the list/status view of a job.
+type Summary struct {
+	ID       string              `json:"id"`
+	State    State               `json:"state"`
+	Priority int                 `json:"priority"`
+	Kind     string              `json:"kind"`
+	Error    string              `json:"error,omitempty"`
+	Events   int                 `json:"events"`
+	Rows     int                 `json:"rows,omitempty"`
+	Spec     *confluence.JobSpec `json:"spec,omitempty"`
+}
+
+func (j *Job) summary(withSpec bool) Summary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Summary{
+		ID: j.ID, State: j.state, Priority: j.Priority,
+		Kind: j.Spec.NormKind(), Error: j.errMsg, Events: len(j.events),
+	}
+	if j.result != nil {
+		s.Rows = j.result.rowCount()
+	}
+	if withSpec {
+		s.Spec = j.Spec
+	}
+	return s
+}
+
+// ExecuteSpec runs a validated job spec to completion, streaming one
+// progress event per finished simulation cell to emit (nil for none). It
+// is the single execution path shared by the daemon's workers and
+// `confluence-sim -job`, so a spec behaves identically under both.
+//
+// Point and sweep cells run through confluence.RunCtx — the same entry
+// point a direct library caller uses — which is what makes the serving
+// determinism contract (server result bit-identical to direct Run) hold
+// by construction. Within a job, cells fan out across
+// max(1, spec.Parallelism) goroutines; the default is serial so one job
+// cannot oversubscribe the daemon (the queue's Workers knob governs
+// cross-job concurrency).
+func ExecuteSpec(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if emit == nil {
+		emit = func(experiments.ProgressEvent) {}
+	}
+	var emitMu sync.Mutex
+	emitOne := func(e experiments.ProgressEvent) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		emit(e)
+	}
+
+	kind := spec.NormKind()
+	if kind == confluence.KindMixStudy {
+		return executeMixStudy(ctx, spec, emitOne)
+	}
+
+	cfgs, err := spec.Configs()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: kind, Cells: make([]CellResult, len(cfgs))}
+	workers := spec.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	err = parallel.ForEach(ctx, workers, len(cfgs), func(ctx context.Context, i int) error {
+		cfg := cfgs[i]
+		// Within-job fan-out is already bounded by this ForEach; the
+		// per-cell config must not fan out again.
+		cfg.Parallelism = 0
+		r, err := confluence.RunCtx(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		cell := CellResult{
+			Mix:          mixName(cfg),
+			Design:       cfg.Design.String(),
+			Stats:        r.Stats,
+			PerCore:      r.PerCore,
+			OverheadMM2:  r.OverheadMM2,
+			RelativeArea: r.RelativeArea,
+		}
+		res.Cells[i] = cell
+		emitOne(experiments.ProgressEvent{
+			Mix: cell.Mix, Design: cell.Design,
+			IPC: r.Stats.IPC(), BTBMPKI: r.Stats.BTBMPKI(), L1IMPKI: r.Stats.L1IMPKI(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// executeMixStudy runs a mixstudy spec through the experiments runner,
+// forwarding its serialized progress events.
+func executeMixStudy(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+	mix, err := spec.MixWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	designs := experiments.MixStudyDesigns()
+	if len(spec.Designs) > 0 {
+		designs = designs[:0]
+		for _, name := range spec.Designs {
+			dp, ok := confluence.DesignByName(name)
+			if !ok {
+				return nil, fmt.Errorf("serve: unknown design %q", name)
+			}
+			designs = append(designs, dp)
+		}
+	}
+	r := experiments.NewRunnerFor(jobScale(spec), nil)
+	r.Workers = spec.Parallelism
+	if r.Workers <= 0 {
+		r.Workers = 1
+	}
+	r.IntraWorkers = spec.IntraParallelism
+	r.EpochBlocks = spec.EpochBlocks
+	r.OnProgress = emit
+	rows, err := r.MixStudyFor(ctx, [][]*confluence.Workload{mix}, designs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: confluence.KindMixStudy, MixRows: rows}, nil
+}
+
+// jobScale maps a spec's simulation-shape fields onto an experiments
+// Scale with the same defaults Config applies (16 cores, 1.5M
+// warmup/measure per core, NoWarmup forcing a zero-length warmup).
+func jobScale(spec *confluence.JobSpec) experiments.Scale {
+	sc := experiments.Scale{Name: "job", Cores: spec.Cores, Warmup: spec.WarmupInstr, Measure: spec.MeasureInstr}
+	if sc.Cores <= 0 {
+		sc.Cores = 16
+	}
+	switch {
+	case spec.NoWarmup:
+		sc.Warmup = 0
+	case sc.Warmup == 0:
+		sc.Warmup = 1_500_000
+	}
+	if sc.Measure == 0 {
+		sc.Measure = 1_500_000
+	}
+	return sc
+}
+
+// mixName labels a config's workload mix the way the experiments package
+// does.
+func mixName(cfg confluence.Config) string {
+	if len(cfg.Mix) > 0 {
+		return experiments.MixName(cfg.Mix)
+	}
+	if cfg.Workload != nil {
+		return cfg.Workload.Prof.Name
+	}
+	return ""
+}
+
+// isCancellation reports whether err is a context cancellation (the job
+// outcome is then "cancelled", not "failed").
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

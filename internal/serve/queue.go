@@ -1,0 +1,64 @@
+package serve
+
+import "container/heap"
+
+// jobQueue is a bounded priority queue of submitted-but-not-started jobs:
+// higher Priority first, FIFO (submission sequence) within a priority.
+// The bound is enforced by the server at submit time (queue-full is the
+// 503 load-shedding signal); cancellation removes jobs eagerly so a
+// cancelled queued job frees its slot immediately.
+type jobQueue struct {
+	jobs []*Job
+}
+
+var _ heap.Interface = (*jobQueue)(nil)
+
+func (q *jobQueue) Len() int { return len(q.jobs) }
+
+func (q *jobQueue) Less(i, k int) bool {
+	a, b := q.jobs[i], q.jobs[k]
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *jobQueue) Swap(i, k int) {
+	q.jobs[i], q.jobs[k] = q.jobs[k], q.jobs[i]
+	q.jobs[i].heapIndex = i
+	q.jobs[k].heapIndex = k
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.heapIndex = len(q.jobs)
+	q.jobs = append(q.jobs, j)
+}
+
+func (q *jobQueue) Pop() any {
+	n := len(q.jobs)
+	j := q.jobs[n-1]
+	q.jobs[n-1] = nil
+	q.jobs = q.jobs[:n-1]
+	j.heapIndex = -1
+	return j
+}
+
+// push enqueues a job.
+func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+
+// pop removes and returns the highest-priority job, or nil when empty.
+func (q *jobQueue) pop() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Job)
+}
+
+// remove takes a specific job out of the queue (cancellation); it is a
+// no-op for jobs not currently queued.
+func (q *jobQueue) remove(j *Job) {
+	if j.heapIndex >= 0 {
+		heap.Remove(q, j.heapIndex)
+	}
+}

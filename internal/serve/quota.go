@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotaTable implements per-client token-bucket submission quotas: each
+// client key owns a bucket of `burst` tokens refilling at `rps` tokens
+// per second; one submission consumes one token, and an empty bucket is
+// the 429 signal. Buckets are created on first use and pruned once full
+// again and idle, so the table stays bounded by the set of recently
+// active clients.
+type quotaTable struct {
+	rps   float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotaTable builds a table allowing rps sustained submissions per
+// second with bursts of burst; rps <= 0 disables quotas entirely.
+func newQuotaTable(rps float64, burst int, now func() time.Time) *quotaTable {
+	if rps <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &quotaTable{rps: rps, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from key's bucket, reporting whether the
+// submission is within quota. A nil table allows everything.
+func (q *quotaTable) allow(key string) bool {
+	if q == nil {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.now()
+	b, ok := q.buckets[key]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: t}
+		q.buckets[key] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * q.rps
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = t
+	if b.tokens < 1 {
+		// Opportunistically prune other clients' full buckets so the
+		// table cannot grow without bound under key churn.
+		for k, ob := range q.buckets {
+			if ob != b && ob.tokens >= q.burst {
+				delete(q.buckets, k)
+			}
+		}
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryAfter estimates the seconds until key's next token, for the
+// Retry-After header (minimum 1).
+func (q *quotaTable) retryAfter(key string) int {
+	if q == nil {
+		return 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[key]
+	if !ok || q.rps <= 0 {
+		return 1
+	}
+	missing := 1 - b.tokens
+	if missing <= 0 {
+		return 1
+	}
+	secs := int(missing/q.rps + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -37,11 +37,11 @@ type Record struct {
 	ReqBoundary bool
 }
 
-// context is one in-flight request's execution state. A server core
+// reqContext is one in-flight request's execution state. A server core
 // time-slices many concurrent requests (connections); interleaving their
 // code paths is what defies the L1-I — a single request's working set would
 // often fit.
-type context struct {
+type reqContext struct {
 	stack []int32 // return points (ExecNode indices)
 	cur   int32   // current ExecNode index
 	req   int
@@ -69,7 +69,7 @@ type Executor struct {
 	seed  uint64
 	rng   *rand.Rand
 
-	ctxs    []*context
+	ctxs    []*reqContext
 	active  int
 	quantum int // instructions left in the current scheduling quantum
 	newRq   bool
@@ -98,7 +98,7 @@ func (e *Executor) init() {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
-		c := &context{loopRem: flatmap.New[int32](16)}
+		c := &reqContext{loopRem: flatmap.New[int32](16)}
 		e.ctxs = append(e.ctxs, c)
 		e.startRequest(c)
 	}
@@ -112,7 +112,7 @@ func (e *Executor) Reset() error {
 	return nil
 }
 
-func (e *Executor) startRequest(c *context) {
+func (e *Executor) startRequest(c *reqContext) {
 	c.req = e.w.PickRequest(e.rng)
 	c.cur = e.w.Entries[c.req].Entry().Index()
 	c.stack = c.stack[:0]
@@ -235,7 +235,7 @@ func (e *Executor) NextBatch(dst []Record) (int, error) {
 // condOutcome resolves a conditional branch. Loop-controlling sites run a
 // quasi-deterministic iteration counter (the site's characteristic trip
 // count with occasional jitter); other conditionals are biased coin flips.
-func (e *Executor) condOutcome(c *context, br *program.ExecNode) bool {
+func (e *Executor) condOutcome(c *reqContext, br *program.ExecNode) bool {
 	switch br.Loop {
 	case program.LoopExitHeader:
 		// Header visited before each iteration and once more to exit;
@@ -287,7 +287,7 @@ func (e *Executor) drawTrips(br *program.ExecNode) int {
 // pickIndirect resolves an indirect site: with probability
 // IndirectStability the per-(site,request-type) stable target, otherwise a
 // uniformly random table entry (data-dependent dispatch).
-func (e *Executor) pickIndirect(c *context, br *program.ExecNode) int32 {
+func (e *Executor) pickIndirect(c *reqContext, br *program.ExecNode) int32 {
 	tb := e.w.Prog.IndirectTargets(br)
 	if len(tb) == 1 {
 		return tb[0]

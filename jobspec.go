@@ -1,0 +1,433 @@
+package confluence
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+
+	"confluence/internal/synth"
+)
+
+// JobSpec is a JSON round-trippable description of a run — the unit of
+// work the serving layer (`confluence-serve`) queues and the
+// `confluence-sim -job` flag executes. It names everything a Config holds
+// by value rather than by pointer: workloads by profile name (plus an
+// optional ProfileTweak for seed/sizing overrides), the design point by
+// its String form, and the trace capture by directory. Decoding is strict
+// (unknown fields are rejected, see ParseJobSpec) so stored specs cannot
+// silently rot as the schema evolves.
+//
+// Kind selects the job shape:
+//
+//   - "point" (the default): one simulation — Workload or Mix × Design,
+//     mapping 1:1 onto a Config (see Config/Configs).
+//   - "sweep": the cross product Workloads × Designs, one simulation per
+//     cell (Workloads defaults to the paper's five-workload suite).
+//   - "mixstudy": the consolidation study over Mix — every design in
+//     Designs (default MixStudyDesigns) with the shared-vs-private
+//     history ablation and per-workload homogeneous baselines.
+type JobSpec struct {
+	Kind string `json:"kind,omitempty"`
+
+	// Workload references. Point jobs set Workload (homogeneous) or Mix
+	// (consolidated, core i runs Mix[i mod len]); sweep jobs set
+	// Workloads (the workload axis); mixstudy jobs set Mix.
+	Workload  string   `json:"workload,omitempty"`
+	Mix       []string `json:"mix,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Design references, by DesignPoint.String() name (see DesignNames).
+	// Point jobs set Design; sweep jobs set Designs; mixstudy jobs may
+	// set Designs (default: the study's canonical three).
+	Design  string   `json:"design,omitempty"`
+	Designs []string `json:"designs,omitempty"`
+
+	// TraceDir, when non-empty, replays the capture in that directory
+	// (Config.TraceDir semantics). With no Workload named, the capture
+	// runs under default calibration (WorkloadFromTrace).
+	TraceDir string `json:"trace_dir,omitempty"`
+
+	// Profile optionally overrides generator parameters of every named
+	// workload — most importantly the seed, so one spec can pin a
+	// specific generated program.
+	Profile *ProfileTweak `json:"profile,omitempty"`
+
+	// Simulation shape (Config semantics, including the zero-means-
+	// default sentinels for Cores/WarmupInstr/MeasureInstr).
+	Cores        int    `json:"cores,omitempty"`
+	WarmupInstr  uint64 `json:"warmup_instr,omitempty"`
+	MeasureInstr uint64 `json:"measure_instr,omitempty"`
+	NoWarmup     bool   `json:"no_warmup,omitempty"`
+
+	// Parallelism knobs (Config semantics; K = EpochBlocks).
+	Parallelism      int `json:"parallelism,omitempty"`
+	IntraParallelism int `json:"intra_parallelism,omitempty"`
+	EpochBlocks      int `json:"epoch_blocks,omitempty"`
+
+	// Priority orders the serving layer's job queue (higher runs first,
+	// FIFO within a priority). Direct execution ignores it.
+	Priority int `json:"priority,omitempty"`
+}
+
+// ProfileTweak overrides select generator parameters of a named workload
+// profile. Zero fields (nil Seed) keep the profile's own value.
+type ProfileTweak struct {
+	Functions    int     `json:"functions,omitempty"`
+	RequestTypes int     `json:"request_types,omitempty"`
+	Concurrency  int     `json:"concurrency,omitempty"`
+	Seed         *uint64 `json:"seed,omitempty"`
+}
+
+// Job kinds (JobSpec.Kind; empty means KindPoint).
+const (
+	KindPoint    = "point"
+	KindSweep    = "sweep"
+	KindMixStudy = "mixstudy"
+)
+
+// NormKind returns the spec's kind with the empty-string default applied.
+func (s *JobSpec) NormKind() string {
+	if s.Kind == "" {
+		return KindPoint
+	}
+	return s.Kind
+}
+
+// ParseJobSpec decodes and validates a JobSpec from JSON. Decoding is
+// strict: unknown fields, trailing garbage, and validation failures are
+// all errors, so a spec that decodes is a spec the engine can run.
+func ParseJobSpec(data []byte) (*JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("confluence: decoding job spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("confluence: job spec has trailing data after the JSON object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's internal consistency: a known kind, known
+// workload and design names, the right reference fields for the kind, and
+// non-negative knobs. It does not touch the filesystem — TraceDir is
+// validated when the job builds its workloads.
+func (s *JobSpec) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("confluence: invalid job spec: "+format, args...)
+	}
+	for _, name := range append([]string{s.Workload}, append(append([]string{}, s.Mix...), s.Workloads...)...) {
+		if name == "" {
+			continue
+		}
+		if _, ok := synth.ProfileByName(name); !ok {
+			return bad("unknown workload %q (have: %s)", name, strings.Join(WorkloadNames(), ", "))
+		}
+	}
+	for _, name := range append([]string{s.Design}, s.Designs...) {
+		if name == "" {
+			continue
+		}
+		if _, ok := DesignByName(name); !ok {
+			return bad("unknown design %q (have: %s)", name, strings.Join(DesignNames(), ", "))
+		}
+	}
+	if s.Cores < 0 || s.Parallelism < 0 || s.IntraParallelism < 0 || s.EpochBlocks < 0 {
+		return bad("cores/parallelism/intra_parallelism/epoch_blocks must be non-negative")
+	}
+	if s.Profile != nil && (s.Profile.Functions < 0 || s.Profile.RequestTypes < 0 || s.Profile.Concurrency < 0) {
+		return bad("profile overrides must be non-negative")
+	}
+	switch s.NormKind() {
+	case KindPoint:
+		if len(s.Workloads) > 0 || len(s.Designs) > 0 {
+			return bad("point jobs use workload/mix and design, not the plural sweep axes")
+		}
+		if s.Design == "" {
+			return bad("point jobs require a design")
+		}
+		if s.Workload != "" && len(s.Mix) > 0 {
+			return bad("workload and mix are mutually exclusive")
+		}
+		if s.Workload == "" && len(s.Mix) == 0 && s.TraceDir == "" {
+			return bad("point jobs require a workload, a mix, or a trace_dir")
+		}
+	case KindSweep:
+		if s.Workload != "" || len(s.Mix) > 0 || s.Design != "" {
+			return bad("sweep jobs use workloads/designs, not the singular point fields")
+		}
+		if len(s.Designs) == 0 {
+			return bad("sweep jobs require designs")
+		}
+	case KindMixStudy:
+		if s.Workload != "" || s.Design != "" || len(s.Workloads) > 0 {
+			return bad("mixstudy jobs use mix (and optionally designs)")
+		}
+		if len(s.Mix) == 0 {
+			return bad("mixstudy jobs require a mix")
+		}
+		if s.TraceDir != "" {
+			return bad("mixstudy jobs do not replay traces")
+		}
+	default:
+		return bad("unknown kind %q (have: %s, %s, %s)", s.Kind, KindPoint, KindSweep, KindMixStudy)
+	}
+	return nil
+}
+
+// buildWorkload generates one named workload with the spec's profile
+// overrides applied.
+func (s *JobSpec) buildWorkload(name string) (*Workload, error) {
+	prof, ok := synth.ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("confluence: unknown workload %q", name)
+	}
+	if t := s.Profile; t != nil {
+		if t.Functions > 0 {
+			prof.Functions = t.Functions
+		}
+		if t.RequestTypes > 0 {
+			prof.RequestTypes = t.RequestTypes
+		}
+		if t.Concurrency > 0 {
+			prof.Concurrency = t.Concurrency
+		}
+		if t.Seed != nil {
+			prof.Seed = *t.Seed
+		}
+	}
+	return synth.Build(prof)
+}
+
+// baseConfig maps the spec's simulation-shape fields onto a Config
+// (workloads and design still unset).
+func (s *JobSpec) baseConfig() Config {
+	return Config{
+		Cores:            s.Cores,
+		WarmupInstr:      s.WarmupInstr,
+		MeasureInstr:     s.MeasureInstr,
+		NoWarmup:         s.NoWarmup,
+		TraceDir:         s.TraceDir,
+		Parallelism:      s.Parallelism,
+		IntraParallelism: s.IntraParallelism,
+		EpochBlocks:      s.EpochBlocks,
+	}
+}
+
+// Config maps a point spec onto the Config it describes, generating its
+// workloads. Sweep and mixstudy specs expand to more than one simulation
+// — use Configs (sweep) or the serving layer's executor (mixstudy).
+func (s *JobSpec) Config() (Config, error) {
+	if err := s.Validate(); err != nil {
+		return Config{}, err
+	}
+	if s.NormKind() != KindPoint {
+		return Config{}, fmt.Errorf("confluence: %s job spec does not map onto a single Config", s.NormKind())
+	}
+	cfg := s.baseConfig()
+	dp, _ := DesignByName(s.Design)
+	cfg.Design = dp
+	switch {
+	case len(s.Mix) > 0:
+		built := make(map[string]*Workload, len(s.Mix))
+		for _, name := range s.Mix {
+			if built[name] != nil {
+				continue
+			}
+			w, err := s.buildWorkload(name)
+			if err != nil {
+				return Config{}, err
+			}
+			built[name] = w
+		}
+		cfg.Mix = make([]*Workload, len(s.Mix))
+		for i, name := range s.Mix {
+			cfg.Mix[i] = built[name]
+		}
+	case s.Workload != "":
+		w, err := s.buildWorkload(s.Workload)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Workload = w
+	default: // trace-only replay under default calibration
+		w, err := WorkloadFromTrace(s.TraceDir)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Workload = w
+	}
+	return cfg, nil
+}
+
+// MixWorkloads generates the spec's workload mix (core i runs
+// mix[i mod len]) with the profile overrides applied — the input a
+// mixstudy job hands to the experiments runner. Repeated names share one
+// generated workload.
+func (s *JobSpec) MixWorkloads() ([]*Workload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Mix) == 0 {
+		return nil, fmt.Errorf("confluence: job spec has no mix")
+	}
+	built := make(map[string]*Workload, len(s.Mix))
+	mix := make([]*Workload, len(s.Mix))
+	for i, name := range s.Mix {
+		if built[name] == nil {
+			w, err := s.buildWorkload(name)
+			if err != nil {
+				return nil, err
+			}
+			built[name] = w
+		}
+		mix[i] = built[name]
+	}
+	return mix, nil
+}
+
+// Configs expands the spec into the ordered list of simulations it
+// describes: one Config for a point job, the Workloads × Designs cross
+// product (workload-major, matching the figure runners' canonical order)
+// for a sweep. Workload generation is shared across cells. Mixstudy specs
+// do not expand to plain Configs.
+func (s *JobSpec) Configs() ([]Config, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.NormKind() {
+	case KindPoint:
+		cfg, err := s.Config()
+		if err != nil {
+			return nil, err
+		}
+		return []Config{cfg}, nil
+	case KindSweep:
+		names := s.Workloads
+		if len(names) == 0 {
+			names = PaperWorkloadNames()
+		}
+		var cfgs []Config
+		for _, name := range names {
+			w, err := s.buildWorkload(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, dn := range s.Designs {
+				dp, _ := DesignByName(dn)
+				cfg := s.baseConfig()
+				cfg.Workload = w
+				cfg.Design = dp
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		return cfgs, nil
+	default:
+		return nil, fmt.Errorf("confluence: %s job spec does not expand to Configs (run it through the serving layer or MixStudyFor)", s.NormKind())
+	}
+}
+
+// SpecFromConfig maps a Config back onto the point JobSpec that describes
+// it — the inverse of JobSpec.Config for configs expressible as specs:
+// workloads must be generated from named profiles (with at most the
+// ProfileTweak fields changed, uniformly across a mix), and Options must
+// be zero (specs carry no Options). The round trip
+// SpecFromConfig(cfg).Config() rebuilds bit-identical workloads, since
+// generation is deterministic in (profile, seed).
+func SpecFromConfig(cfg Config) (*JobSpec, error) {
+	// Options holds a func field, so the zero test is DeepEqual (two nil
+	// Sources compare equal; any set field or provider does not).
+	if !reflect.DeepEqual(cfg.Options, Options{}) {
+		return nil, fmt.Errorf("confluence: config with custom Options is not expressible as a JobSpec")
+	}
+	s := &JobSpec{
+		Design:           cfg.Design.String(),
+		TraceDir:         cfg.TraceDir,
+		Cores:            cfg.Cores,
+		WarmupInstr:      cfg.WarmupInstr,
+		MeasureInstr:     cfg.MeasureInstr,
+		NoWarmup:         cfg.NoWarmup,
+		Parallelism:      cfg.Parallelism,
+		IntraParallelism: cfg.IntraParallelism,
+		EpochBlocks:      cfg.EpochBlocks,
+	}
+	describe := func(w *Workload) (string, *ProfileTweak, error) {
+		name := w.Prof.Name
+		base, ok := synth.ProfileByName(name)
+		if !ok {
+			return "", nil, fmt.Errorf("confluence: workload %q is not a named profile", name)
+		}
+		var tweak *ProfileTweak
+		if w.Prof != base {
+			t := &ProfileTweak{}
+			p := base
+			if w.Prof.Functions != base.Functions {
+				t.Functions, p.Functions = w.Prof.Functions, w.Prof.Functions
+			}
+			if w.Prof.RequestTypes != base.RequestTypes {
+				t.RequestTypes, p.RequestTypes = w.Prof.RequestTypes, w.Prof.RequestTypes
+			}
+			if w.Prof.Concurrency != base.Concurrency {
+				t.Concurrency, p.Concurrency = w.Prof.Concurrency, w.Prof.Concurrency
+			}
+			if w.Prof.Seed != base.Seed {
+				seed := w.Prof.Seed
+				t.Seed, p.Seed = &seed, seed
+			}
+			if p != w.Prof {
+				return "", nil, fmt.Errorf("confluence: workload %q diverges from its profile beyond the ProfileTweak fields", name)
+			}
+			tweak = t
+		}
+		return name, tweak, nil
+	}
+	sameTweak := func(a, b *ProfileTweak) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		if a == nil {
+			return true
+		}
+		if (a.Seed == nil) != (b.Seed == nil) || (a.Seed != nil && *a.Seed != *b.Seed) {
+			return false
+		}
+		return a.Functions == b.Functions && a.RequestTypes == b.RequestTypes && a.Concurrency == b.Concurrency
+	}
+	switch {
+	case cfg.Workload != nil && len(cfg.Mix) == 0:
+		name, tweak, err := describe(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		s.Workload, s.Profile = name, tweak
+	case len(cfg.Mix) > 0 && cfg.Workload == nil:
+		for i, w := range cfg.Mix {
+			name, tweak, err := describe(w)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				s.Profile = tweak
+			} else if !sameTweak(s.Profile, tweak) {
+				return nil, fmt.Errorf("confluence: mix workloads with differing profile tweaks are not expressible as one JobSpec")
+			}
+			s.Mix = append(s.Mix, name)
+		}
+	default:
+		return nil, fmt.Errorf("confluence: config needs exactly one of Workload and Mix")
+	}
+	if _, ok := DesignByName(s.Design); !ok {
+		return nil, fmt.Errorf("confluence: design %v has no serialized name", cfg.Design)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,279 @@
+package confluence
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseJobSpecRoundTrip(t *testing.T) {
+	seed := uint64(0x901d)
+	in := &JobSpec{
+		Kind:     KindPoint,
+		Workload: "OLTP-DB2",
+		Profile:  &ProfileTweak{Functions: 520, RequestTypes: 6, Concurrency: 6, Seed: &seed},
+		Design:   "Confluence",
+		Cores:    2, WarmupInstr: 30_000, MeasureInstr: 60_000,
+		Parallelism: 2, Priority: 3,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseJobSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the spec:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestParseJobSpecStrictness(t *testing.T) {
+	cases := map[string]string{
+		"unknown top-level field": `{"design":"Base1K","workload":"DSS-Qrys","typo_field":1}`,
+		"unknown profile field":   `{"design":"Base1K","workload":"DSS-Qrys","profile":{"seeds":7}}`,
+		"trailing data":           `{"design":"Base1K","workload":"DSS-Qrys"} extra`,
+		"second JSON object":      `{"design":"Base1K","workload":"DSS-Qrys"}{}`,
+		"not an object":           `[1,2,3]`,
+	}
+	for name, body := range cases {
+		if _, err := ParseJobSpec([]byte(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+func TestJobSpecValidate(t *testing.T) {
+	cases := map[string]JobSpec{
+		"unknown workload":      {Workload: "SAP-HANA", Design: "Base1K"},
+		"unknown design":        {Workload: "DSS-Qrys", Design: "Base9K"},
+		"unknown kind":          {Kind: "batch", Workload: "DSS-Qrys", Design: "Base1K"},
+		"point without design":  {Workload: "DSS-Qrys"},
+		"point without work":    {Design: "Base1K"},
+		"workload and mix":      {Workload: "DSS-Qrys", Mix: []string{"KeyValue"}, Design: "Base1K"},
+		"point with sweep axes": {Workload: "DSS-Qrys", Design: "Base1K", Designs: []string{"Ideal"}},
+		"sweep without designs": {Kind: KindSweep},
+		"sweep with point axes": {Kind: KindSweep, Design: "Base1K", Designs: []string{"Ideal"}},
+		"mixstudy without mix":  {Kind: KindMixStudy},
+		"mixstudy with trace":   {Kind: KindMixStudy, Mix: []string{"DSS-Qrys"}, TraceDir: "x"},
+		"negative cores":        {Workload: "DSS-Qrys", Design: "Base1K", Cores: -1},
+		"negative tweak":        {Workload: "DSS-Qrys", Design: "Base1K", Profile: &ProfileTweak{Functions: -5}},
+	}
+	for name, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	ok := JobSpec{Workload: "DSS-Qrys", Design: "Base1K"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("minimal point spec rejected: %v", err)
+	}
+	if ok.NormKind() != KindPoint {
+		t.Errorf("empty kind normalizes to %q", ok.NormKind())
+	}
+}
+
+// TestJobSpecConfig checks the spec→Config mapping, including the
+// profile tweak and mix workload sharing.
+func TestJobSpecConfig(t *testing.T) {
+	seed := uint64(7)
+	spec := &JobSpec{
+		Mix:     []string{"DSS-Qrys", "KeyValue", "DSS-Qrys"},
+		Profile: &ProfileTweak{Concurrency: 3, Seed: &seed},
+		Design:  "Confluence",
+		Cores:   4, NoWarmup: true, MeasureInstr: 9_000,
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Design != Confluence || cfg.Cores != 4 || !cfg.NoWarmup || cfg.MeasureInstr != 9_000 {
+		t.Fatalf("config shape = %+v", cfg)
+	}
+	if len(cfg.Mix) != 3 {
+		t.Fatalf("mix expanded to %d workloads", len(cfg.Mix))
+	}
+	if cfg.Mix[0] != cfg.Mix[2] {
+		t.Error("repeated mix names built distinct workloads")
+	}
+	for _, w := range cfg.Mix {
+		if w.Prof.Concurrency != 3 || w.Prof.Seed != 7 {
+			t.Errorf("tweak not applied: %+v", w.Prof)
+		}
+	}
+}
+
+// TestJobSpecMixWorkloads checks the mixstudy workload expansion:
+// repeated names share one generated workload.
+func TestJobSpecMixWorkloads(t *testing.T) {
+	spec := &JobSpec{
+		Kind: KindMixStudy,
+		Mix:  []string{"DSS-Qrys", "KeyValue", "DSS-Qrys"},
+	}
+	mix, err := spec.MixWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("mix expanded to %d workloads", len(mix))
+	}
+	if mix[0] != mix[2] {
+		t.Error("repeated mix names built distinct workloads")
+	}
+	if mix[0].Prof.Name != "DSS-Qrys" || mix[1].Prof.Name != "KeyValue" {
+		t.Errorf("mix order: %s, %s", mix[0].Prof.Name, mix[1].Prof.Name)
+	}
+	bad := &JobSpec{Kind: KindMixStudy}
+	if _, err := bad.MixWorkloads(); err == nil {
+		t.Error("mixstudy without a mix expanded")
+	}
+}
+
+// TestJobSpecConfigsSweep checks sweep expansion: workload-major cross
+// product, defaulting to the paper suite.
+func TestJobSpecConfigsSweep(t *testing.T) {
+	spec := &JobSpec{
+		Kind:      KindSweep,
+		Workloads: []string{"DSS-Qrys", "KeyValue"},
+		Designs:   []string{"Base1K", "Confluence"},
+	}
+	cfgs, err := spec.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 4 {
+		t.Fatalf("sweep expanded to %d cells, want 4", len(cfgs))
+	}
+	order := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		order[i] = c.Workload.Prof.Name + "/" + c.Design.String()
+	}
+	want := "DSS-Qrys/Base1K DSS-Qrys/Confluence KeyValue/Base1K KeyValue/Confluence"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("sweep order %q, want %q (workload-major)", got, want)
+	}
+	if cfgs[0].Workload != cfgs[1].Workload {
+		t.Error("sweep rebuilt the same workload per design")
+	}
+
+	defaulted := &JobSpec{Kind: KindSweep, Designs: []string{"Base1K"}}
+	cfgs, err = defaulted.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != len(PaperWorkloadNames()) {
+		t.Errorf("defaulted sweep has %d cells, want the paper suite's %d", len(cfgs), len(PaperWorkloadNames()))
+	}
+}
+
+// TestSpecFromConfigRoundTrip checks the Config→JobSpec inverse: the
+// reconstructed spec rebuilds bit-identical workloads.
+func TestSpecFromConfigRoundTrip(t *testing.T) {
+	w, err := BuildWorkload("OLTP-DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload: w, Design: Confluence, Cores: 2,
+		WarmupInstr: 30_000, MeasureInstr: 60_000,
+	}
+	spec, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Workload != "OLTP-DB2" || spec.Profile != nil || spec.Design != "Confluence" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	back, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload.Prof != w.Prof {
+		t.Errorf("rebuilt workload profile differs: %+v vs %+v", back.Workload.Prof, w.Prof)
+	}
+	if back.Design != cfg.Design || back.Cores != cfg.Cores ||
+		back.WarmupInstr != cfg.WarmupInstr || back.MeasureInstr != cfg.MeasureInstr {
+		t.Errorf("round-tripped config shape differs: %+v", back)
+	}
+}
+
+// TestSpecFromConfigTweaked covers the tweak reconstruction: a profile
+// differing from its base in exactly the ProfileTweak fields round-trips.
+func TestSpecFromConfigTweaked(t *testing.T) {
+	spec := &JobSpec{
+		Workload: "OLTP-DB2",
+		Profile:  &ProfileTweak{Functions: 520, RequestTypes: 6, Concurrency: 6},
+		Design:   "Confluence",
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Profile == nil || *back.Profile != *spec.Profile {
+		t.Errorf("tweak not reconstructed: %+v", back.Profile)
+	}
+	if back.Workload != "OLTP-DB2" {
+		t.Errorf("workload name %q", back.Workload)
+	}
+}
+
+func TestSpecFromConfigRejects(t *testing.T) {
+	w, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Custom Options are not serializable.
+	withOpts := Config{Workload: w, Design: Base1K}
+	withOpts.Options.Cores = 4
+	if _, err := SpecFromConfig(withOpts); err == nil {
+		t.Error("config with custom Options accepted")
+	}
+
+	// A workload whose profile diverges beyond the tweak fields cannot be
+	// named.
+	mutant := *w
+	mutant.Prof.BackendCPI = w.Prof.BackendCPI + 0.25
+	if _, err := SpecFromConfig(Config{Workload: &mutant, Design: Base1K}); err == nil {
+		t.Error("workload diverging beyond ProfileTweak accepted")
+	}
+
+	// Mix entries with differing tweaks cannot share one spec.
+	k, err := BuildWorkload("KeyValue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweaked := *k
+	tweaked.Prof.Concurrency = k.Prof.Concurrency + 1
+	if _, err := SpecFromConfig(Config{Mix: []*Workload{w, &tweaked}, Design: Base1K}); err == nil {
+		t.Error("mix with divergent tweaks accepted")
+	}
+}
+
+// TestDesignNameRegistry pins the name↔design mapping the serialized
+// specs depend on.
+func TestDesignNameRegistry(t *testing.T) {
+	names := DesignNames()
+	if len(names) < 10 {
+		t.Fatalf("DesignNames lists %d designs", len(names))
+	}
+	for _, n := range names {
+		dp, ok := DesignByName(n)
+		if !ok {
+			t.Errorf("DesignByName(%q) missed", n)
+			continue
+		}
+		if dp.String() != n {
+			t.Errorf("DesignByName(%q) = %v", n, dp)
+		}
+	}
+	if _, ok := DesignByName("Base9K"); ok {
+		t.Error("unknown design resolved")
+	}
+}
