@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	btbsweep [-scale small|default|paper] [-workers N] [-workload NAME]
+//	btbsweep [-scale small|default|paper] [-workers N] [-workload NAME] [-store DIR]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
+	"confluence/internal/store"
 	"confluence/internal/synth"
 )
 
@@ -21,6 +22,7 @@ func main() {
 	scaleFlag := flag.String("scale", "", "simulation scale: small, default, or paper")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	workload := flag.String("workload", "", "restrict to one workload profile")
+	storeDir := flag.String("store", "", "durable result store directory: repeat sweeps resume from completed cells")
 	flag.Parse()
 
 	sc := experiments.ScaleFromEnv()
@@ -54,6 +56,9 @@ func main() {
 		os.Exit(1)
 	}
 	r.Workers = *workers
+	if *storeDir != "" {
+		r.Store = store.Open(*storeDir)
+	}
 
 	rows, err := r.Figure1(ctx)
 	if err != nil {

@@ -5,6 +5,7 @@
 //
 //	confluence-serve [-addr :8455] [-queue 64] [-workers 2]
 //	                 [-quota-rps 0] [-quota-burst 4] [-drain-timeout 60s]
+//	                 [-store DIR] [-store-max-bytes N]
 //
 // Clients POST JobSpecs to /jobs (see the README's Serving section for
 // the schema and endpoints), stream progress from /jobs/{id}/events, and
@@ -16,6 +17,12 @@
 // SIGINT/SIGTERM drains gracefully: new submissions are rejected, jobs
 // already accepted run to completion (up to -drain-timeout), then the
 // process exits 0. A second signal aborts immediately.
+//
+// With -store, finished job results persist to a content-addressed
+// on-disk store: re-submitting an identical spec is an instant cache hit,
+// and a restarted daemon still serves results computed before the
+// restart. -store-max-bytes caps the store's size with least-recently-
+// used eviction (0 = unlimited).
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"confluence/internal/serve"
+	"confluence/internal/store"
 )
 
 func main() {
@@ -40,13 +48,29 @@ func main() {
 	quotaRPS := flag.Float64("quota-rps", 0, "per-client sustained submissions per second (0 = no quota)")
 	quotaBurst := flag.Int("quota-burst", 4, "per-client submission burst depth")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for accepted jobs on shutdown")
+	storeDir := flag.String("store", "", "durable result store directory: finished jobs persist and identical re-submissions are cache hits")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store size cap in bytes with LRU eviction (0 = unlimited; needs -store)")
 	flag.Parse()
+
+	if *storeDir != "" {
+		// Fail fast on an unusable store directory rather than degrading
+		// every Put into a silent no-op for the daemon's whole lifetime.
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if *storeMaxBytes > 0 {
+			store.Open(*storeDir).SetMaxBytes(*storeMaxBytes)
+		}
+	} else if *storeMaxBytes > 0 {
+		fatal(errors.New("-store-max-bytes needs -store"))
+	}
 
 	srv := serve.New(serve.Config{
 		QueueDepth: *queue,
 		Workers:    *workers,
 		QuotaRPS:   *quotaRPS,
 		QuotaBurst: *quotaBurst,
+		StoreDir:   *storeDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -57,6 +81,9 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Printf("confluence-serve: listening on %s (queue=%d workers=%d)\n", ln.Addr(), *queue, *workers)
+	if *storeDir != "" {
+		fmt.Printf("confluence-serve: result store at %s\n", store.Open(*storeDir).Dir())
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	confluence-sim [-scale small|default|paper] [-workers N] [-intra-workers N] [-intra-epoch K] [-run fig1,table2,fig6,...] [-v]
+//	confluence-sim [-scale small|default|paper] [-workers N] [-intra-workers N] [-intra-epoch K] [-run fig1,table2,fig6,...] [-store DIR] [-v]
 //	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
 //	confluence-sim -mix OLTP-DB2,Web-Frontend [-scale ...]
 //	confluence-sim -job job.json [-v]
@@ -37,6 +37,13 @@
 // schema the confluence-serve daemon accepts) through the daemon's
 // executor, so a spec can be debugged locally before being submitted to a
 // server — the results are identical by construction.
+//
+// With -store, completed simulation cells persist to a content-addressed
+// on-disk result store, and cells whose inputs are already stored are
+// served from it without simulating: a run killed mid-grid resumes from
+// its completed cells on the next invocation, with byte-identical output.
+// The flag composes with every mode; a summary of store traffic prints to
+// stderr on exit.
 package main
 
 import (
@@ -51,6 +58,7 @@ import (
 	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
 	"confluence/internal/serve"
+	"confluence/internal/store"
 )
 
 func main() {
@@ -64,7 +72,9 @@ func main() {
 	traceWorkload := flag.String("trace-workload", "", "workload the capture was taken from (restores program image + calibration)")
 	mixFlag := flag.String("mix", "", "comma-separated workload names: run the consolidation study on this mix (core i runs workload i mod N)")
 	jobFlag := flag.String("job", "", "execute a JobSpec JSON file (the confluence-serve schema) and print its result rows")
+	storeDir := flag.String("store", "", "durable result store directory: completed cells persist and repeat runs resume from them")
 	flag.Parse()
+	defer reportStore(*storeDir)
 
 	sc := experiments.ScaleFromEnv()
 	if *scaleFlag != "" {
@@ -79,19 +89,19 @@ func main() {
 	defer stop()
 
 	if *jobFlag != "" {
-		if err := runJobFile(ctx, *jobFlag, *verbose); err != nil {
+		if err := runJobFile(ctx, *jobFlag, *storeDir, *verbose); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *traceDir != "" {
-		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *workers, *intraWorkers, *intraEpoch); err != nil {
+		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *storeDir, *workers, *intraWorkers, *intraEpoch); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *mixFlag != "" {
-		if err := runMix(ctx, sc, *mixFlag, *workers, *intraWorkers, *intraEpoch, *verbose); err != nil {
+		if err := runMix(ctx, sc, *mixFlag, *storeDir, *workers, *intraWorkers, *intraEpoch, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -114,6 +124,9 @@ func main() {
 	}
 	r.IntraWorkers = *intraWorkers
 	r.EpochBlocks = *intraEpoch
+	if *storeDir != "" {
+		r.Store = store.Open(*storeDir)
+	}
 	if *verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
@@ -199,7 +212,7 @@ func main() {
 
 // replayTrace runs the paper's headline design points over a capture
 // directory, one replayed simulation per design.
-func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName string, workers, intraWorkers, intraEpoch int) error {
+func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName, storeDir string, workers, intraWorkers, intraEpoch int) error {
 	// Split the goroutine budget between replay-level and in-run
 	// parallelism, exactly as the experiment runners do.
 	workers = experiments.SplitWorkers(workers, intraWorkers)
@@ -226,6 +239,7 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName st
 			Parallelism:      workers,
 			IntraParallelism: intraWorkers,
 			EpochBlocks:      intraEpoch,
+			StoreDir:         storeDir,
 		}
 	}
 	res, err := confluence.RunMany(ctx, workers, cfgs)
@@ -246,7 +260,7 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName st
 }
 
 // runMix runs the consolidation study on one explicit workload mix.
-func runMix(ctx context.Context, sc experiments.Scale, spec string, workers, intraWorkers, intraEpoch int, verbose bool) error {
+func runMix(ctx context.Context, sc experiments.Scale, spec, storeDir string, workers, intraWorkers, intraEpoch int, verbose bool) error {
 	var mix []*confluence.Workload
 	for _, name := range strings.Split(spec, ",") {
 		w, err := confluence.BuildWorkload(strings.TrimSpace(name))
@@ -259,6 +273,9 @@ func runMix(ctx context.Context, sc experiments.Scale, spec string, workers, int
 	r.Workers = workers
 	r.IntraWorkers = intraWorkers
 	r.EpochBlocks = intraEpoch
+	if storeDir != "" {
+		r.Store = store.Open(storeDir)
+	}
 	if verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
@@ -274,7 +291,7 @@ func runMix(ctx context.Context, sc experiments.Scale, spec string, workers, int
 
 // runJobFile executes a JobSpec file through the serving executor — the
 // exact path a confluence-serve worker takes — and prints the result.
-func runJobFile(ctx context.Context, path string, verbose bool) error {
+func runJobFile(ctx context.Context, path, storeDir string, verbose bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -287,7 +304,7 @@ func runJobFile(ctx context.Context, path string, verbose bool) error {
 	if verbose {
 		emit = func(e experiments.ProgressEvent) { fmt.Fprintln(os.Stderr, "  "+e.String()) }
 	}
-	res, err := serve.ExecuteSpec(ctx, spec, emit)
+	res, err := serve.ExecuteSpecStore(ctx, spec, storeDir, emit)
 	if err != nil {
 		return err
 	}
@@ -301,6 +318,19 @@ func runJobFile(ctx context.Context, path string, verbose bool) error {
 			c.Mix, c.Design, c.Stats.IPC(), c.Stats.BTBMPKI(), c.Stats.L1IMPKI(), c.OverheadMM2)
 	}
 	return nil
+}
+
+// reportStore prints the run's store traffic to stderr. The store
+// registry hands back the same handle every path used, so the counters
+// cover the whole process.
+func reportStore(dir string) {
+	if dir == "" {
+		return
+	}
+	s := store.Open(dir)
+	hits, misses, writes := s.Counters()
+	fmt.Fprintf(os.Stderr, "store %s: %d hits, %d misses, %d writes (%d entries)\n",
+		s.Dir(), hits, misses, writes, s.Len())
 }
 
 func fatal(err error) {

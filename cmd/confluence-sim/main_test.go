@@ -1,0 +1,118 @@
+package main
+
+// TestStoreSmoke is the end-to-end resume check the Makefile's
+// store-smoke target runs (gated behind STORE_SMOKE=1 because it builds
+// and kills the real binary): run a small sweep with -store, SIGKILL the
+// process after its first completed cell, re-run the same command to
+// completion, and require (a) the re-run hit the store for the cells the
+// killed run finished and (b) its stdout is byte-identical to a
+// from-scratch run with an empty store — the durable-resume determinism
+// contract across process boundaries.
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStoreSmoke(t *testing.T) {
+	if os.Getenv("STORE_SMOKE") != "1" {
+		t.Skip("set STORE_SMOKE=1 to run the store smoke test")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "confluence-sim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building confluence-sim: %v", err)
+	}
+
+	// A four-cell sweep: enough cells that a kill after the first leaves
+	// real work for the resume, small enough to stay CI-friendly.
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"kind": "sweep",
+		"workloads": ["DSS-Qrys", "Web-Frontend"],
+		"designs": ["Base1K", "Confluence"],
+		"cores": 2, "no_warmup": true, "measure_instr": 40000
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(dir, "store")
+	run := func(sd string) *exec.Cmd { return exec.Command(bin, "-job", spec, "-store", sd, "-v") }
+
+	// Run 1: kill the process the moment the first cell's progress line
+	// appears. Cells persist before their progress line is emitted, so an
+	// observed line means that cell is durable.
+	kill := run(storeDir)
+	stderr, err := kill.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kill.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	seen := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "IPC") { // a cell progress line
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatalf("no cell progress line before exit: %v", sc.Err())
+	}
+	if err := kill.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	kill.Wait()
+
+	// Run 2: same command, warm store — must finish and report store hits.
+	complete := func(sd string) (stdout string, stderr string) {
+		t.Helper()
+		cmd := run(sd)
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("resumed run failed after %.1fs: %v\n%s", time.Since(start).Seconds(), err, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+	warmOut, warmErr := complete(storeDir)
+	sum := storeSummary(t, warmErr)
+	// "store <dir>: N hits, ..." — take the field after the last ": " so
+	// the directory path's own characters can't confuse the parse.
+	counts := strings.Fields(sum[strings.LastIndex(sum, ": ")+2:])
+	hits, err := strconv.Atoi(counts[0])
+	if err != nil || hits < 1 {
+		t.Fatalf("resumed run reports no store hits: %q", sum)
+	}
+
+	// Run 3: empty store, from scratch — stdout must match run 2 exactly.
+	freshOut, _ := complete(filepath.Join(dir, "fresh"))
+	if freshOut != warmOut {
+		t.Errorf("resumed stdout differs from a from-scratch run:\nresumed:\n%s\nscratch:\n%s", warmOut, freshOut)
+	}
+}
+
+// storeSummary extracts the "store <dir>: N hits, ..." line reportStore
+// prints on exit.
+func storeSummary(t *testing.T, stderr string) string {
+	t.Helper()
+	for _, line := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(line, "store ") {
+			return line
+		}
+	}
+	t.Fatalf("no store summary on stderr:\n%s", stderr)
+	return ""
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000] [-workers N] [-intra-workers N] [-intra-epoch K]
+//	frontend-probe -workload DSS-Qrys [-cores 8] [-instr 1500000] [-workers N] [-intra-workers N] [-intra-epoch K] [-store DIR]
 //	frontend-probe -trace CAPTURE_DIR [-workload NAME] [-cores 8] [-instr N]
 //
 // With -trace, cores replay the capture directory (written by `tracegen
@@ -22,6 +22,7 @@ import (
 	"confluence/internal/cliutil"
 	"confluence/internal/core"
 	"confluence/internal/experiments"
+	"confluence/internal/store"
 	"confluence/internal/synth"
 	"confluence/internal/trace"
 )
@@ -46,6 +47,7 @@ func main() {
 	intraWorkers := flag.Int("intra-workers", 0, "bound-weave workers inside each simulation (0/1 = serial)")
 	intraEpoch := flag.Int("intra-epoch", 0, "bound-weave epoch depth K in blocks per core (0/1 = exact)")
 	traceDir := flag.String("trace", "", "replay a capture directory instead of executing the workload live")
+	storeDir := flag.String("store", "", "durable result store directory: repeat probes of the same cell are served from disk")
 	flag.Parse()
 
 	var w *synth.Workload
@@ -140,6 +142,9 @@ func main() {
 	r.Workers = *workers
 	r.IntraWorkers = *intraWorkers
 	r.EpochBlocks = *intraEpoch
+	if *storeDir != "" {
+		r.Store = store.Open(*storeDir)
+	}
 	if err := r.Grid(designs).Execute(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "frontend-probe:", err)
 		os.Exit(1)

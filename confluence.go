@@ -39,6 +39,7 @@ import (
 	"confluence/internal/frontend"
 	"confluence/internal/parallel"
 	"confluence/internal/stats"
+	"confluence/internal/store"
 	"confluence/internal/synth"
 	"confluence/internal/trace"
 )
@@ -236,6 +237,19 @@ type Config struct {
 	// required — it supplies timing calibration, and (when it is the
 	// workload the capture was taken from) the program image for predecode.
 	TraceDir string
+	// StoreDir, when non-empty, consults and feeds the durable
+	// content-addressed result store rooted at that directory: a run whose
+	// key (workloads, design, options, instruction counts, code version —
+	// see experiments.CellStoreKey) is already stored returns the persisted
+	// result without simulating, and a completed run persists its result
+	// for future processes. Stored results are byte-identical to live runs
+	// (exact float64 JSON round trip), so resuming an interrupted grid
+	// against the same store reproduces the uninterrupted output exactly.
+	// Empty preserves today's in-memory-only behavior exactly. Runs with an
+	// Options.Sources override bypass the store (their inputs are not
+	// serializable); the CONFLUENCE_STORE_MAX_BYTES environment variable
+	// caps the directory (LRU eviction).
+	StoreDir string
 	// Tuning, optional: zero value uses the paper's configuration.
 	Options Options
 	// Parallelism bounds concurrent simulations when this Config seeds a
@@ -326,6 +340,29 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.MeasureInstr == 0 {
 		cfg.MeasureInstr = 1_500_000
 	}
+	// The store key must be derived before TraceDir is folded into an
+	// opt.Sources closure below: a closure is opaque (CellStoreKey skips
+	// the store for it), while the (mix, TraceDir) pair is canonical key
+	// material.
+	var resultStore *store.Store
+	var storeKey string
+	if cfg.StoreDir != "" {
+		if key, ok := experiments.CellStoreKey(cfg.WarmupInstr, cfg.MeasureInstr, mix, cfg.TraceDir, cfg.Design, opt); ok {
+			resultStore = store.Open(cfg.StoreDir)
+			storeKey = key
+			if payload, hit := resultStore.Get(storeKey); hit {
+				if e, ok := experiments.DecodeStoreEntry(payload); ok {
+					return &Result{
+						Config:       cfg,
+						Stats:        e.Stats,
+						PerCore:      e.PerCore,
+						OverheadMM2:  e.OverheadMM2,
+						RelativeArea: e.RelativeArea,
+					}, nil
+				}
+			}
+		}
+	}
 	// Options.Sources is the most specific override and wins everywhere
 	// (core.NewMixSystem resolves it first too); TraceDir then beats the
 	// workloads' own supply.
@@ -345,13 +382,22 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Config:       cfg,
 		Stats:        st,
 		PerCore:      sys.PerCoreSnapshot(),
 		OverheadMM2:  sys.OverheadMM2,
 		RelativeArea: sys.RelativeArea,
-	}, nil
+	}
+	if resultStore != nil {
+		if payload, err := experiments.EncodeStoreEntry(experiments.StoreEntry{
+			Stats: res.Stats, PerCore: res.PerCore,
+			OverheadMM2: res.OverheadMM2, RelativeArea: res.RelativeArea,
+		}); err == nil {
+			resultStore.Put(storeKey, payload) // best-effort persistence
+		}
+	}
+	return res, nil
 }
 
 // HarmonicMeanIPC returns the harmonic mean of the cores' IPCs — the

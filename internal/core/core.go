@@ -181,6 +181,42 @@ func DefaultOptions() Options {
 	}
 }
 
+// Normalized returns o with every zero-valued sentinel replaced by its
+// paper default, exactly as NewMixSystem interprets it. Two Options
+// values that Normalized maps to the same result assemble the same
+// system, which makes the normalized form the canonical one for
+// memoization and store keys. Cores is left alone (NewMixSystem rejects
+// Cores <= 0 rather than defaulting it), and the meaningful zero
+// survives: Air.OverflowEntries stays 0 whenever any other Air field is
+// set — only an entirely-zero Air selects the full paper default.
+func (o Options) Normalized() Options {
+	if defAir := airbtb.DefaultConfig(); o.Air == (airbtb.Config{}) {
+		o.Air = defAir
+	} else {
+		if o.Air.Bundles == 0 {
+			o.Air.Bundles = defAir.Bundles
+		}
+		if o.Air.EntriesPerBundle == 0 {
+			o.Air.EntriesPerBundle = defAir.EntriesPerBundle
+		}
+	}
+	defShift := shift.DefaultConfig()
+	if o.Shift.HistoryEntries == 0 {
+		o.Shift.HistoryEntries = defShift.HistoryEntries
+	}
+	if o.Shift.Lookahead == 0 {
+		o.Shift.Lookahead = defShift.Lookahead
+	}
+	defFDP := fdp.DefaultConfig()
+	if o.FDP.QueueDepth == 0 {
+		o.FDP.QueueDepth = defFDP.QueueDepth
+	}
+	if o.FDP.CyclesPerBB == 0 {
+		o.FDP.CyclesPerBB = defFDP.CyclesPerBB
+	}
+	return o
+}
+
 // System is an assembled CMP plus design metadata.
 type System struct {
 	*cmp.System
@@ -241,33 +277,7 @@ func NewMixSystem(mix []*synth.Workload, dp DesignPoint, opt Options) (*System, 
 			return nil, fmt.Errorf("core: workload %q has no program and no trace to replay", w.Prof.Name)
 		}
 	}
-	// Field-wise defaulting: explicit values in a partially-specified
-	// sub-config survive (see the Options doc for Air.OverflowEntries, the
-	// one meaningful zero).
-	if defAir := airbtb.DefaultConfig(); opt.Air == (airbtb.Config{}) {
-		opt.Air = defAir
-	} else {
-		if opt.Air.Bundles == 0 {
-			opt.Air.Bundles = defAir.Bundles
-		}
-		if opt.Air.EntriesPerBundle == 0 {
-			opt.Air.EntriesPerBundle = defAir.EntriesPerBundle
-		}
-	}
-	defShift := shift.DefaultConfig()
-	if opt.Shift.HistoryEntries == 0 {
-		opt.Shift.HistoryEntries = defShift.HistoryEntries
-	}
-	if opt.Shift.Lookahead == 0 {
-		opt.Shift.Lookahead = defShift.Lookahead
-	}
-	defFDP := fdp.DefaultConfig()
-	if opt.FDP.QueueDepth == 0 {
-		opt.FDP.QueueDepth = defFDP.QueueDepth
-	}
-	if opt.FDP.CyclesPerBB == 0 {
-		opt.FDP.CyclesPerBB = defFDP.CyclesPerBB
-	}
+	opt = opt.Normalized()
 
 	sources := opt.Sources
 	if sources == nil {

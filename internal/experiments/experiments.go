@@ -24,6 +24,7 @@ import (
 	"confluence/internal/core"
 	"confluence/internal/frontend"
 	"confluence/internal/parallel"
+	"confluence/internal/store"
 	"confluence/internal/synth"
 )
 
@@ -83,6 +84,15 @@ type Runner struct {
 	// EpochBlocks is the bound-weave epoch depth K forwarded to every cell
 	// (core.Options.EpochBlocks); 0/1 is the exact mode.
 	EpochBlocks int
+	// Store, if set, is the durable result store consulted before and
+	// written after every simulation: a cell whose key (CellStoreKey —
+	// workloads, design, options, instruction counts, ResultVersion) is
+	// already stored returns the persisted result without simulating, which
+	// is what makes an interrupted grid resumable across processes. Nil
+	// keeps the in-memory memo cache as the only caching layer, exactly the
+	// pre-store behavior. Cells the store cannot identify (an
+	// Options.Sources override) bypass it silently.
+	Store *store.Store
 	// Progress, if set, receives a line per completed run. Calls are
 	// serialized; the callback needs no locking of its own.
 	Progress func(string)
@@ -268,11 +278,34 @@ func (e ProgressEvent) String() string {
 		e.Mix, e.Design, e.IPC, e.BTBMPKI, e.L1IMPKI)
 }
 
-// simulate runs one cell uncached. Cancellation reaches a started cell
-// mid-run: the epoch engine polls ctx at every epoch barrier.
+// simulate runs one cell uncached by the memo, consulting the durable
+// store on either side when one is configured: a store hit returns the
+// persisted result (emitting the same progress event a live run would),
+// and a completed run is written back before its progress line is emitted
+// — so an observer that has seen a cell reported knows the cell is
+// durable. Cancellation reaches a started cell mid-run: the epoch engine
+// polls ctx at every epoch barrier.
 func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	var storeKey string
+	haveKey := false
+	if r.Store != nil {
+		storeKey, haveKey = CellStoreKey(r.Scale.Warmup, r.Scale.Measure, mix, "", dp, opt)
+		if haveKey {
+			if payload, hit := r.Store.Get(storeKey); hit {
+				if e, ok := DecodeStoreEntry(payload); ok {
+					r.progress(func() ProgressEvent {
+						return ProgressEvent{
+							Mix: MixName(mix), Design: dp.String(),
+							IPC: e.Stats.IPC(), BTBMPKI: e.Stats.BTBMPKI(), L1IMPKI: e.Stats.L1IMPKI(),
+						}
+					})
+					return e.Stats, e.PerCore, nil
+				}
+			}
+		}
 	}
 	sys, err := core.NewMixSystem(mix, dp, opt)
 	if err != nil {
@@ -283,13 +316,22 @@ func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.De
 	if err != nil {
 		return nil, nil, err
 	}
+	perCore := sys.PerCoreSnapshot()
+	if haveKey {
+		if payload, err := EncodeStoreEntry(StoreEntry{
+			Stats: st, PerCore: perCore,
+			OverheadMM2: sys.OverheadMM2, RelativeArea: sys.RelativeArea,
+		}); err == nil {
+			r.Store.Put(storeKey, payload) // best-effort: the result is in hand
+		}
+	}
 	r.progress(func() ProgressEvent {
 		return ProgressEvent{
 			Mix: MixName(mix), Design: dp.String(),
 			IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
 		}
 	})
-	return st, sys.PerCoreSnapshot(), nil
+	return st, perCore, nil
 }
 
 // progress emits one serialized progress event to whichever callbacks are

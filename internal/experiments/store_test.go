@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"confluence/internal/core"
+	"confluence/internal/frontend"
+	"confluence/internal/store"
+	"confluence/internal/synth"
+	"confluence/internal/trace"
+)
+
+var storeTestScale = Scale{Name: "tiny", Cores: 2, Warmup: 100_000, Measure: 150_000}
+
+func storeTestRunner(t *testing.T, s *store.Store) *Runner {
+	t.Helper()
+	r := NewRunnerFor(storeTestScale, []*synth.Workload{detWorkload(t)})
+	r.Store = s
+	return r
+}
+
+// TestStoreResumeDeterminism is the tentpole contract: a grid killed
+// mid-sweep and re-run against the same store resumes from the completed
+// cells and produces results bit-identical to an uninterrupted run. Each
+// Runner here stands in for one process (fresh memo cache); only the
+// store directory is shared.
+func TestStoreResumeDeterminism(t *testing.T) {
+	s := store.Open(t.TempDir())
+	designs := []core.DesignPoint{core.Base1K, core.TwoLevelSHIFT, core.Confluence, core.Ideal}
+
+	// "Process" 1: start the grid, get killed after the first completed
+	// cell. The context is cancelled from the progress callback, which
+	// fires after the cell's store write — exactly the window a SIGKILL
+	// between cells hits.
+	interrupted := storeTestRunner(t, s)
+	ctx, cancel := context.WithCancel(t.Context())
+	interrupted.Progress = func(string) { cancel() }
+	if err := interrupted.Grid(designs).Execute(ctx); err == nil {
+		t.Fatal("interrupted grid ran to completion; cancellation never landed")
+	}
+	if _, _, writes := s.Counters(); writes == 0 {
+		t.Fatal("no cell was persisted before the interruption")
+	}
+
+	// "Process" 2: re-run the whole grid against the same store.
+	resumed := storeTestRunner(t, s)
+	got, err := resumed.Grid(designs).Stats(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ := s.Counters()
+	if hits == 0 {
+		t.Error("resumed grid never hit the store: completed cells re-simulated")
+	}
+
+	// Reference: the same grid with no store at all.
+	fresh := NewRunnerFor(storeTestScale, []*synth.Workload{detWorkload(t)})
+	want, err := fresh.Grid(designs).Stats(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cell counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Errorf("cell %d diverged between resumed and uninterrupted runs:\n  %+v\nvs\n  %+v",
+				i, *got[i], *want[i])
+		}
+	}
+}
+
+// TestStoreHitEmitsProgress pins the observability contract: a cell served
+// from the store reports the same progress line a live simulation would,
+// so resumed sweeps show every cell.
+func TestStoreHitEmitsProgress(t *testing.T) {
+	s := store.Open(t.TempDir())
+	warm := storeTestRunner(t, s)
+	if _, err := warm.RunDefault(warm.Workloads[0], core.Base1K); err != nil {
+		t.Fatal(err)
+	}
+
+	var liveLines, storedLines []string
+	warm2 := storeTestRunner(t, s)
+	warm2.Progress = func(line string) { storedLines = append(storedLines, line) }
+	if _, err := warm2.RunDefault(warm2.Workloads[0], core.Base1K); err != nil {
+		t.Fatal(err)
+	}
+	live := NewRunnerFor(storeTestScale, []*synth.Workload{detWorkload(t)})
+	live.Progress = func(line string) { liveLines = append(liveLines, line) }
+	if _, err := live.RunDefault(live.Workloads[0], core.Base1K); err != nil {
+		t.Fatal(err)
+	}
+	if len(storedLines) != 1 || len(liveLines) != 1 || storedLines[0] != liveLines[0] {
+		t.Errorf("store-hit progress diverges from live progress:\n  stored: %q\n  live:   %q", storedLines, liveLines)
+	}
+}
+
+// TestConcurrentRunnersConverge races two independent Runners (two
+// "processes") over the same grid and store: both must succeed, and the
+// store must end with exactly one valid entry per cell.
+func TestConcurrentRunnersConverge(t *testing.T) {
+	s := store.Open(t.TempDir())
+	designs := []core.DesignPoint{core.Base1K, core.Confluence}
+	results := make([][]*frontend.Stats, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		r := storeTestRunner(t, s)
+		wg.Add(1)
+		go func(i int, r *Runner) {
+			defer wg.Done()
+			stats, err := r.Grid(designs).Stats(context.Background())
+			if err != nil {
+				t.Errorf("runner %d: %v", i, err)
+				return
+			}
+			results[i] = stats
+		}(i, r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := range results[0] {
+		if *results[0][i] != *results[1][i] {
+			t.Errorf("cell %d diverged between racing runners", i)
+		}
+	}
+	if n := s.Len(); n != len(designs) {
+		t.Errorf("store holds %d entries after convergence, want %d", n, len(designs))
+	}
+	// A third runner must serve the whole grid from the store.
+	replay := storeTestRunner(t, s)
+	h0, _, _ := s.Counters()
+	if _, err := replay.Grid(designs).Stats(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	h1, _, _ := s.Counters()
+	if int(h1-h0) != len(designs) {
+		t.Errorf("replay hit the store %d times, want %d", h1-h0, len(designs))
+	}
+}
+
+// TestCellStoreKeyIdentity pins what is — and is not — part of a cell's
+// durable identity.
+func TestCellStoreKeyIdentity(t *testing.T) {
+	w := detWorkload(t)
+	mix := []*synth.Workload{w}
+	base := core.DefaultOptions()
+	base.Cores = 2
+	key := func(opt core.Options, dp core.DesignPoint) string {
+		k, ok := CellStoreKey(100_000, 150_000, mix, "", dp, opt)
+		if !ok {
+			t.Fatalf("unexpectedly unkeyable: %+v", opt)
+		}
+		return k
+	}
+
+	ref := key(base, core.Base1K)
+
+	// Worker counts must not change the key (determinism contract).
+	intra := base
+	intra.IntraWorkers = 8
+	if key(intra, core.Base1K) != ref {
+		t.Error("IntraWorkers changed the store key")
+	}
+	// EpochBlocks 0 and 1 are the same exact mode; K=2 is a different model.
+	k1 := base
+	k1.EpochBlocks = 1
+	if key(k1, core.Base1K) != ref {
+		t.Error("EpochBlocks=1 diverged from the 0 default")
+	}
+	k2 := base
+	k2.EpochBlocks = 2
+	if key(k2, core.Base1K) == ref {
+		t.Error("EpochBlocks=2 shares the exact mode's key")
+	}
+	// Zero-valued sentinels and their explicit defaults are one cell.
+	sparse := core.Options{Cores: 2}
+	if key(sparse, core.Base1K) != ref {
+		t.Error("zero-valued options and explicit defaults hash to different keys")
+	}
+	// Results-changing knobs must change the key.
+	for name, opt := range map[string]core.Options{
+		"Cores":          {Cores: 4},
+		"HistoryPerCore": func() core.Options { o := base; o.HistoryPerCore = true; return o }(),
+		"Shift.Lookahead": func() core.Options {
+			o := base
+			o.Shift.Lookahead = base.Shift.Lookahead + 1
+			return o
+		}(),
+	} {
+		if key(opt, core.Base1K) == ref {
+			t.Errorf("%s change kept the same store key", name)
+		}
+	}
+	if key(base, core.Confluence) == ref {
+		t.Error("design point not part of the store key")
+	}
+	if k, _ := CellStoreKey(100_000, 200_000, mix, "", core.Base1K, base); k == ref {
+		t.Error("measure count not part of the store key")
+	}
+}
+
+// TestCellStoreKeySkipsSources pins the escape hatch: an arbitrary source
+// provider is opaque code, so such cells bypass the store entirely.
+func TestCellStoreKeySkipsSources(t *testing.T) {
+	mix := []*synth.Workload{detWorkload(t)}
+	opt := core.DefaultOptions()
+	opt.Cores = 2
+	opt.Sources = func(int) (trace.Source, error) { return nil, nil }
+	if _, ok := CellStoreKey(100_000, 150_000, mix, "", core.Base1K, opt); ok {
+		t.Error("a cell with an Options.Sources override got a store key")
+	}
+}
+
+// TestDecodeStoreEntryRejectsGarbage: a payload that is not a complete
+// entry (schema drift, hand-edited file) must read as a miss, not a
+// partially-populated result.
+func TestDecodeStoreEntryRejectsGarbage(t *testing.T) {
+	for _, payload := range []string{"", "not json", "{}", `{"per_core": []}`} {
+		if _, ok := DecodeStoreEntry([]byte(payload)); ok {
+			t.Errorf("DecodeStoreEntry(%q) accepted", payload)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"confluence/internal/experiments"
 	"confluence/internal/frontend"
 	"confluence/internal/parallel"
+	"confluence/internal/store"
 )
 
 // State is a job's lifecycle position. Transitions are monotone:
@@ -86,8 +87,9 @@ type Job struct {
 	Priority int                 `json:"priority"`
 	Spec     *confluence.JobSpec `json:"spec"`
 
-	seq       int64 // submission order, tie-break within a priority
-	heapIndex int   // position in the queue heap; -1 when not queued
+	seq       int64  // submission order, tie-break within a priority
+	heapIndex int    // position in the queue heap; -1 when not queued
+	storeKey  string // durable store key; "" when the job is not storable
 
 	mu     sync.Mutex
 	cond   *sync.Cond // broadcast on every event append
@@ -137,8 +139,17 @@ func (j *Job) State() State {
 func (j *Job) eventsSince(cursor int, cancelled func() bool) ([]Event, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
 	for len(j.events) <= cursor && !j.state.terminal() && !cancelled() {
 		j.cond.Wait()
+	}
+	// A cursor past the end (a caller claiming more events than exist) can
+	// leave the wait on terminal state or cancellation; clamp rather than
+	// slice negatively.
+	if cursor > len(j.events) {
+		cursor = len(j.events)
 	}
 	evs := make([]Event, len(j.events)-cursor)
 	copy(evs, j.events[cursor:])
@@ -193,6 +204,15 @@ func (j *Job) summary(withSpec bool) Summary {
 // cannot oversubscribe the daemon (the queue's Workers knob governs
 // cross-job concurrency).
 func ExecuteSpec(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+	return ExecuteSpecStore(ctx, spec, "", emit)
+}
+
+// ExecuteSpecStore is ExecuteSpec threading a durable result store: with
+// a non-empty storeDir, every point/sweep cell runs with Config.StoreDir
+// set (completed cells persist and are served from disk on re-execution)
+// and a mixstudy's runner consults the same store per cell. An empty
+// storeDir is exactly ExecuteSpec.
+func ExecuteSpecStore(ctx context.Context, spec *confluence.JobSpec, storeDir string, emit func(experiments.ProgressEvent)) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +228,7 @@ func ExecuteSpec(ctx context.Context, spec *confluence.JobSpec, emit func(experi
 
 	kind := spec.NormKind()
 	if kind == confluence.KindMixStudy {
-		return executeMixStudy(ctx, spec, emitOne)
+		return executeMixStudy(ctx, spec, storeDir, emitOne)
 	}
 
 	cfgs, err := spec.Configs()
@@ -225,6 +245,7 @@ func ExecuteSpec(ctx context.Context, spec *confluence.JobSpec, emit func(experi
 		// Within-job fan-out is already bounded by this ForEach; the
 		// per-cell config must not fan out again.
 		cfg.Parallelism = 0
+		cfg.StoreDir = storeDir
 		r, err := confluence.RunCtx(ctx, cfg)
 		if err != nil {
 			return err
@@ -251,8 +272,9 @@ func ExecuteSpec(ctx context.Context, spec *confluence.JobSpec, emit func(experi
 }
 
 // executeMixStudy runs a mixstudy spec through the experiments runner,
-// forwarding its serialized progress events.
-func executeMixStudy(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+// forwarding its serialized progress events; a non-empty storeDir gives
+// the runner the durable per-cell store.
+func executeMixStudy(ctx context.Context, spec *confluence.JobSpec, storeDir string, emit func(experiments.ProgressEvent)) (*Result, error) {
 	mix, err := spec.MixWorkloads()
 	if err != nil {
 		return nil, err
@@ -269,6 +291,9 @@ func executeMixStudy(ctx context.Context, spec *confluence.JobSpec, emit func(ex
 		}
 	}
 	r := experiments.NewRunnerFor(jobScale(spec), nil)
+	if storeDir != "" {
+		r.Store = store.Open(storeDir)
+	}
 	r.Workers = spec.Parallelism
 	if r.Workers <= 0 {
 		r.Workers = 1

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestListOffsetPastTotalEchoesRequest is the regression test for the
+// pagination cursor bug: an offset past the end used to be silently
+// snapped to total and reported back, making an overshot page
+// indistinguishable from the legitimate final page. The response must
+// echo the requested offset with an empty row set.
+func TestListOffsetPastTotalEchoesRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	blockUntil(s, release)
+	defer close(release)
+	for i := 0; i < 2; i++ {
+		submitted(t, ts, tinySpec())
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs?offset=100&limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page listPage
+	decodeBody(t, resp, &page)
+	if page.Offset != 100 {
+		t.Errorf("Offset = %d, want the requested 100", page.Offset)
+	}
+	if page.Total != 2 || len(page.Jobs) != 0 {
+		t.Errorf("past-the-end page: total=%d jobs=%d, want 2 and none", page.Total, len(page.Jobs))
+	}
+
+	// A negative offset still clamps to zero (it is not a real cursor).
+	resp, err = http.Get(ts.URL + "/jobs?offset=-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &page)
+	if page.Offset != 0 || len(page.Jobs) != 2 {
+		t.Errorf("negative offset: offset=%d jobs=%d, want 0 and 2", page.Offset, len(page.Jobs))
+	}
+}
+
+// TestResultOffsetPastTotalEchoesRequest: same contract on the result
+// pages.
+func TestResultOffsetPastTotalEchoesRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	sum := submitted(t, ts, tinySpec())
+	waitState(t, s, sum.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + sum.ID + "/result?offset=7&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Total  int               `json:"total"`
+		Offset int               `json:"offset"`
+		Rows   []json.RawMessage `json:"rows"`
+	}
+	decodeBody(t, resp, &page)
+	if page.Offset != 7 {
+		t.Errorf("Offset = %d, want the requested 7", page.Offset)
+	}
+	if page.Total != 1 || len(page.Rows) != 0 {
+		t.Errorf("past-the-end result page: total=%d rows=%d, want 1 and none", page.Total, len(page.Rows))
+	}
+}
+
+// TestEventsSinceCursorEdges pins eventsSince against mid-stream,
+// at-the-end, past-the-end, and negative cursors: dense sequence numbers,
+// no panics, no duplicated or skipped events.
+func TestEventsSinceCursorEdges(t *testing.T) {
+	j := newJob("j1", 1, tinySpec()) // appends the "queued" event
+	j.emit(Event{Type: "started"})
+	j.emit(Event{Type: "cell"})
+
+	evs, terminal := j.eventsSince(1, func() bool { return true })
+	if terminal || len(evs) != 2 || evs[0].Seq != 2 || evs[1].Seq != 3 {
+		t.Fatalf("mid-stream cursor: terminal=%v evs=%+v", terminal, evs)
+	}
+
+	j.mu.Lock()
+	j.state = StateDone
+	j.appendEventLocked(Event{Type: "done"})
+	j.mu.Unlock()
+
+	evs, terminal = j.eventsSince(3, func() bool { return false })
+	if !terminal || len(evs) != 1 || evs[0].Seq != 4 {
+		t.Fatalf("at-the-end cursor: terminal=%v evs=%+v", terminal, evs)
+	}
+
+	// Past the end: a buggy or malicious caller claims more events than
+	// exist; the job is terminal so the wait exits — this used to compute
+	// a negative slice length and panic.
+	evs, terminal = j.eventsSince(10, func() bool { return false })
+	if !terminal || len(evs) != 0 {
+		t.Fatalf("past-the-end cursor: terminal=%v evs=%+v", terminal, evs)
+	}
+
+	evs, terminal = j.eventsSince(-3, func() bool { return false })
+	if !terminal || len(evs) != 4 || evs[0].Seq != 1 {
+		t.Fatalf("negative cursor: terminal=%v evs=%+v", terminal, evs)
+	}
+}

@@ -16,8 +16,9 @@ type quotaTable struct {
 	burst float64
 	now   func() time.Time
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastPrune time.Time
 }
 
 type bucket struct {
@@ -49,6 +50,7 @@ func (q *quotaTable) allow(key string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	t := q.now()
+	q.pruneLocked(t)
 	b, ok := q.buckets[key]
 	if !ok {
 		b = &bucket{tokens: q.burst, last: t}
@@ -60,17 +62,32 @@ func (q *quotaTable) allow(key string) bool {
 	}
 	b.last = t
 	if b.tokens < 1 {
-		// Opportunistically prune other clients' full buckets so the
-		// table cannot grow without bound under key churn.
-		for k, ob := range q.buckets {
-			if ob != b && ob.tokens >= q.burst {
-				delete(q.buckets, k)
-			}
-		}
 		return false
 	}
 	b.tokens--
 	return true
+}
+
+// pruneLocked removes every bucket that has refilled to full as of t. A
+// full bucket is indistinguishable from no bucket (first use creates them
+// full), so removal never changes any client's quota — it only bounds the
+// table by the set of clients still inside their refill window. Fullness
+// is judged on clock-computed tokens, not the stored count: a
+// partially-drained bucket whose owner never submits again still refills
+// on the wall clock, so idle buckets always become prunable (the stored
+// count only advances on the owner's own submissions, which for an
+// abandoned key is never). Sweeps are throttled to one per second so the
+// O(clients) scan amortizes across submissions.
+func (q *quotaTable) pruneLocked(t time.Time) {
+	if t.Sub(q.lastPrune) < time.Second {
+		return
+	}
+	q.lastPrune = t
+	for k, b := range q.buckets {
+		if b.tokens+t.Sub(b.last).Seconds()*q.rps >= q.burst {
+			delete(q.buckets, k)
+		}
+	}
 }
 
 // retryAfter estimates the seconds until key's next token, for the

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced quota clock for single-goroutine tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newFakeTable(rps float64, burst int) (*quotaTable, *fakeClock) {
+	c := newFakeClock()
+	return newQuotaTable(rps, burst, c.now), c
+}
+
+// TestQuotaPrunesIdlePartialBuckets is the regression test for the prune
+// leak: a bucket drained below full and then abandoned never updates its
+// stored token count again, so the old prune condition (stored tokens >=
+// burst) could never fire for it and the table grew by one entry per
+// abandoned client forever. Pruning must judge fullness on clock-computed
+// tokens.
+func TestQuotaPrunesIdlePartialBuckets(t *testing.T) {
+	q, clock := newFakeTable(1, 2)
+
+	// The client drains one token, leaving a stored count of burst-1, and
+	// never returns.
+	if !q.allow("abandoned") {
+		t.Fatal("first submission denied")
+	}
+
+	// Long after the bucket has refilled on the wall clock, other clients'
+	// submissions must sweep it out.
+	clock.advance(10 * time.Second)
+	q.allow("someone-else")
+	q.mu.Lock()
+	_, stillThere := q.buckets["abandoned"]
+	q.mu.Unlock()
+	if stillThere {
+		t.Error("idle partially-drained bucket survived pruning")
+	}
+}
+
+// TestQuotaTableBoundedUnderChurn hammers the table with a stream of
+// distinct client keys — each submitting once and vanishing — and pins
+// the table size to the refill window, not the key count.
+func TestQuotaTableBoundedUnderChurn(t *testing.T) {
+	q, clock := newFakeTable(1, 2)
+	const churn = 1000
+	for i := 0; i < churn; i++ {
+		clock.advance(1100 * time.Millisecond)
+		if !q.allow(fmt.Sprintf("client-%d", i)) {
+			t.Fatalf("fresh client %d denied", i)
+		}
+	}
+	q.mu.Lock()
+	size := len(q.buckets)
+	q.mu.Unlock()
+	// At 1 rps, burst 2, each bucket is full again 1s after its single
+	// submission; with 1.1s between submissions and 1s prune throttling,
+	// only the last couple of clients can still be inside their window.
+	if size > 4 {
+		t.Errorf("table holds %d buckets after %d churned clients, want <= 4", size, churn)
+	}
+}
+
+// TestQuotaPruneInvisibleToClients pins the prune's semantic no-op
+// contract: a pruned client re-appearing gets exactly the full bucket it
+// would have refilled to anyway.
+func TestQuotaPruneInvisibleToClients(t *testing.T) {
+	q, clock := newFakeTable(1, 2)
+	if !q.allow("a") || !q.allow("a") {
+		t.Fatal("burst submissions denied")
+	}
+	if q.allow("a") {
+		t.Fatal("over-burst submission allowed")
+	}
+	// Refill fully; another client's traffic prunes "a".
+	clock.advance(5 * time.Second)
+	q.allow("b")
+	// "a" returns: full burst available, exactly as if never pruned.
+	if !q.allow("a") || !q.allow("a") {
+		t.Error("pruned client lost refilled tokens")
+	}
+	if q.allow("a") {
+		t.Error("pruned client gained extra tokens")
+	}
+}
+
+// TestQuotaPruneThrottled: sweeps run at most once per second, so a burst
+// of submissions inside one second pays for one scan.
+func TestQuotaPruneThrottled(t *testing.T) {
+	q, clock := newFakeTable(1, 1)
+	q.allow("a")
+	clock.advance(5 * time.Second) // "a" fully refilled, prunable
+	q.allow("b")                   // sweeps (removes "a"), stamps lastPrune
+	clock.advance(100 * time.Millisecond)
+	q.allow("c")
+	clock.advance(5 * time.Second) // "b" and "c" now refilled...
+	clock.advance(0)
+	q.mu.Lock()
+	size := len(q.buckets)
+	q.mu.Unlock()
+	// ...but no submission has arrived since, so they are still resident:
+	// pruning happens on traffic, not on a timer.
+	if size != 2 {
+		t.Errorf("table holds %d buckets, want 2 (b and c resident until next sweep)", size)
+	}
+	q.allow("d")
+	q.mu.Lock()
+	size = len(q.buckets)
+	q.mu.Unlock()
+	if size != 1 {
+		t.Errorf("table holds %d buckets after sweeping traffic, want 1 (just d)", size)
+	}
+}
+
+// TestRetryAfterUnknownKey pins the audited edge: a key with no bucket
+// (never submitted, or pruned) gets the 1-second floor, not a panic or a
+// zero.
+func TestRetryAfterUnknownKey(t *testing.T) {
+	q, _ := newFakeTable(0.5, 1)
+	if got := q.retryAfter("never-seen"); got != 1 {
+		t.Errorf("retryAfter(unknown) = %d, want 1", got)
+	}
+	var nilTable *quotaTable
+	if got := nilTable.retryAfter("x"); got != 1 {
+		t.Errorf("nil table retryAfter = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterReflectsDeficit: a drained bucket's Retry-After covers the
+// time to its next whole token.
+func TestRetryAfterReflectsDeficit(t *testing.T) {
+	q, _ := newFakeTable(0.5, 1) // 1 token per 2 seconds
+	if !q.allow("a") {
+		t.Fatal("first submission denied")
+	}
+	if q.allow("a") {
+		t.Fatal("drained bucket allowed")
+	}
+	if got := q.retryAfter("a"); got != 2 {
+		t.Errorf("retryAfter(drained at 0.5 rps) = %d, want 2", got)
+	}
+}

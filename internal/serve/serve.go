@@ -24,6 +24,7 @@ import (
 
 	"confluence"
 	"confluence/internal/experiments"
+	"confluence/internal/store"
 )
 
 // Config tunes a Server. The zero value is serviceable: a 64-deep queue,
@@ -41,6 +42,15 @@ type Config struct {
 	QuotaBurst int
 	// MaxBodyBytes bounds a submitted spec's size. Zero means 1 MiB.
 	MaxBodyBytes int64
+	// StoreDir, when non-empty, backs finished job results with the
+	// durable content-addressed store rooted there: a submitted spec whose
+	// normalized form is already stored completes instantly with the
+	// persisted result (replaying the full event sequence), finished jobs
+	// persist their results for future submissions and future daemon
+	// processes, and point/sweep cells additionally share the per-cell
+	// store with direct library runs on the same directory. Empty keeps
+	// results in memory only — the pre-store behavior exactly.
+	StoreDir string
 	// Now overrides the quota clock (tests).
 	Now func() time.Time
 }
@@ -50,6 +60,7 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	quotas *quotaTable
+	store  *store.Store // nil when Config.StoreDir is empty
 
 	runCtx    context.Context // cancels running jobs on Close
 	cancelRun context.CancelFunc
@@ -87,6 +98,13 @@ func New(cfg Config) *Server {
 		quotas:  newQuotaTable(cfg.QuotaRPS, cfg.QuotaBurst, cfg.Now),
 		jobs:    make(map[string]*Job),
 		execute: ExecuteSpec,
+	}
+	if cfg.StoreDir != "" {
+		s.store = store.Open(cfg.StoreDir)
+		storeDir := cfg.StoreDir
+		s.execute = func(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+			return ExecuteSpecStore(ctx, spec, storeDir, emit)
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.idle = sync.NewCond(&s.mu)
@@ -146,6 +164,12 @@ func (s *Server) runJob(j *Job) {
 		j.emit(Event{Type: "cell", Cell: &cell})
 	})
 
+	if err == nil && s.store != nil && j.storeKey != "" {
+		if payload, encErr := encodeJobResult(res); encErr == nil {
+			s.store.Put(j.storeKey, payload) // best-effort persistence
+		}
+	}
+
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel = nil
@@ -165,25 +189,48 @@ func (s *Server) runJob(j *Job) {
 }
 
 // Submit queues a validated spec, returning the job or ErrQueueFull /
-// ErrDraining. It is the programmatic form of POST /jobs.
+// ErrDraining. It is the programmatic form of POST /jobs. With a result
+// store configured, a spec whose normalized form is already stored
+// returns a job that is instantly done — it never occupies a queue slot
+// or a worker, so stored re-submissions cannot shed live work.
 func (s *Server) Submit(spec *confluence.JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	var storeKey string
+	var stored *Result
+	if s.store != nil {
+		if key, ok := jobStoreKey(spec); ok {
+			storeKey = key
+			// The store read happens outside s.mu: it is filesystem I/O and
+			// must not serialize against the queue.
+			if payload, hit := s.store.Get(key); hit {
+				stored, _ = decodeJobResult(payload)
+			}
+		}
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining || s.closed {
+		s.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if s.queue.Len() >= s.cfg.QueueDepth {
+	if stored == nil && s.queue.Len() >= s.cfg.QueueDepth {
+		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	s.nextSeq++
 	j := newJob(fmt.Sprintf("j%06d", s.nextSeq), s.nextSeq, spec)
+	j.storeKey = storeKey
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j)
-	s.queue.push(j)
-	s.cond.Signal()
+	if stored == nil {
+		s.queue.push(j)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+	if stored != nil {
+		j.completeFromStore(stored)
+	}
 	return j, nil
 }
 
@@ -388,9 +435,14 @@ type listPage struct {
 	Jobs   []Summary `json:"jobs"`
 }
 
-// pageBounds clamps offset/limit query parameters onto [0, total).
-func pageBounds(r *http.Request, total, defLimit, maxLimit int) (lo, hi, limit int) {
-	offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+// pageBounds clamps offset/limit query parameters onto [0, total). The
+// returned offset is the requested (negative-clamped) offset, not the
+// row-range start: a page past the end echoes the offset the client asked
+// for with an empty row set, so a paginating client that overshoots sees
+// its own cursor — offset snapping silently to total used to make such a
+// response indistinguishable from the legitimate final page.
+func pageBounds(r *http.Request, total, defLimit, maxLimit int) (lo, hi, offset, limit int) {
+	offset, _ = strconv.Atoi(r.URL.Query().Get("offset"))
 	limit, _ = strconv.Atoi(r.URL.Query().Get("limit"))
 	if limit <= 0 {
 		limit = defLimit
@@ -409,7 +461,7 @@ func pageBounds(r *http.Request, total, defLimit, maxLimit int) (lo, hi, limit i
 	if hi > total {
 		hi = total
 	}
-	return lo, hi, limit
+	return lo, hi, offset, limit
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -418,8 +470,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	copy(order, s.order)
 	s.mu.Unlock()
 
-	lo, hi, limit := pageBounds(r, len(order), 50, 500)
-	page := listPage{Total: len(order), Offset: lo, Limit: limit, Jobs: make([]Summary, 0, hi-lo)}
+	lo, hi, offset, limit := pageBounds(r, len(order), 50, 500)
+	page := listPage{Total: len(order), Offset: offset, Limit: limit, Jobs: make([]Summary, 0, hi-lo)}
 	for _, j := range order[lo:hi] {
 		page.Jobs = append(page.Jobs, j.summary(false))
 	}
@@ -468,10 +520,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job is %s, result not available", state)
 		return
 	}
-	lo, hi, limit := pageBounds(r, res.rowCount(), 100, 1000)
+	lo, hi, offset, limit := pageBounds(r, res.rowCount(), 100, 1000)
 	writeJSON(w, http.StatusOK, resultPage{
 		ID: j.ID, Kind: res.Kind, Total: res.rowCount(),
-		Offset: lo, Limit: limit, Rows: res.rows(lo, hi),
+		Offset: offset, Limit: limit, Rows: res.rows(lo, hi),
 	})
 }
 

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchPayload approximates a real cell entry: the JSON of an aggregate
+// Stats plus a few per-core snapshots lands in the low kilobytes.
+var benchPayload = bytes.Repeat([]byte(`{"Instructions":1500000,"Cycles":2345678.9}`), 64)
+
+// BenchmarkStoreHit measures the read path a resumed grid pays per
+// already-completed cell: one framed read, checksum, and LRU touch.
+func BenchmarkStoreHit(b *testing.B) {
+	s := &Store{dir: b.TempDir(), size: -1}
+	key := Key([]byte("hot cell"))
+	if err := s.Put(key, benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkStoreMiss measures the lookup cost a cold grid pays per cell
+// before simulating: a failed stat on the entry path.
+func BenchmarkStoreMiss(b *testing.B) {
+	s := &Store{dir: b.TempDir(), size: -1}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = Key([]byte(fmt.Sprintf("cold cell %d", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(keys[i%len(keys)]); ok {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkStoreWrite measures the write-back path: frame, temp file,
+// rename.
+func BenchmarkStoreWrite(b *testing.B) {
+	s := &Store{dir: b.TempDir(), size: -1}
+	b.SetBytes(int64(len(benchPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := Key([]byte(fmt.Sprintf("cell %d", i&1023)))
+		if err := s.Put(key, benchPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreEntry drives the entry codec from both ends, mirroring the
+// trace-codec fuzzing from the replay layer:
+//
+//  1. Round trip: any payload Put under a fuzzed key-material string must
+//     Get back byte-identical.
+//  2. Corruption: the same payload's entry file, overwritten with the
+//     fuzzer's raw bytes, must read as a hit-with-identical-payload or a
+//     clean miss — never a panic, never a mangled payload.
+func FuzzStoreEntry(f *testing.F) {
+	f.Add([]byte("material"), []byte(`{"ipc": 1.5}`))
+	f.Add([]byte(""), []byte(""))
+	f.Add([]byte("x"), []byte(magic))                           // payload that looks like a header
+	f.Add([]byte("y"), bytes.Repeat([]byte{0}, headerSize+8))   // all-zero frame-sized payload
+	f.Add([]byte("z"), []byte("CFLSTE01\x00\x00\x00\x00garbo")) // near-miss framing
+
+	f.Fuzz(func(t *testing.T, material, payload []byte) {
+		dir := t.TempDir()
+		s := &Store{dir: dir, size: -1}
+		key := Key(material)
+
+		if err := s.Put(key, payload); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, ok := s.Get(key)
+		if !ok {
+			t.Fatal("round trip missed")
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %q -> %q", payload, got)
+		}
+
+		// Now treat the fuzz payload as a hostile entry file: whatever the
+		// bytes are, Get must return the exact payload of a valid frame or
+		// report a miss.
+		path := filepath.Join(dir, key+entrySuffix)
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if raw, ok := s.Get(key); ok {
+			// A hit here means the fuzzer built a validly-framed file by
+			// hand; the returned payload must match its framed content.
+			want, okWant := readEntry(path)
+			if !okWant || !bytes.Equal(raw, want) {
+				t.Fatalf("hit on hand-built frame disagrees with readEntry: %q vs %q", raw, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testStore returns a fresh store on its own directory (bypassing the
+// per-dir registry so each test starts with zeroed counters).
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	return &Store{dir: t.TempDir(), size: -1}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testStore(t)
+	key := Key([]byte("cell|some canonical material"))
+	payload := []byte(`{"ipc": 1.25, "blob": "abc"}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit before any Put")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: got %q want %q", got, payload)
+	}
+	hits, misses, writes := s.Counters()
+	if hits != 1 || misses != 1 || writes != 1 {
+		t.Errorf("counters = %d/%d/%d, want 1/1/1", hits, misses, writes)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	s := testStore(t)
+	key := Key(nil)
+	if err := s.Put(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload round trip: ok=%v len=%d", ok, len(got))
+	}
+}
+
+// TestCorruptEntriesAreMisses is the robustness contract: no matter how
+// an entry file is damaged, Get reports a miss — never an error, never a
+// mangled payload.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	payload := []byte(`{"stats": {"Instructions": 12345, "Cycles": 6789.5}}`)
+	corruptions := []struct {
+		name    string
+		corrupt func(path string, data []byte) []byte
+	}{
+		{"empty file", func(_ string, _ []byte) []byte { return nil }},
+		{"short header", func(_ string, data []byte) []byte { return data[:headerSize-3] }},
+		{"wrong magic", func(_ string, data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[0] ^= 0xff
+			return out
+		}},
+		{"truncated payload", func(_ string, data []byte) []byte { return data[:len(data)-5] }},
+		{"trailing garbage", func(_ string, data []byte) []byte { return append(append([]byte(nil), data...), 0xde, 0xad) }},
+		{"flipped payload bit", func(_ string, data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[headerSize+4] ^= 0x01
+			return out
+		}},
+		{"flipped checksum", func(_ string, data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[len(magic)+8] ^= 0x01
+			return out
+		}},
+		{"length lies", func(_ string, data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[len(magic)] ^= 0x02
+			return out
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testStore(t)
+			key := Key([]byte(tc.name))
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(s.dir, key+entrySuffix)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(path, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry returned a hit (payload %q)", got)
+			}
+			// The store heals by overwriting: a re-Put makes the key
+			// readable again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("re-Put after corruption: ok=%v got=%q", ok, got)
+			}
+		})
+	}
+}
+
+func TestMissingDirIsMiss(t *testing.T) {
+	s := &Store{dir: filepath.Join(t.TempDir(), "never-created"), size: -1}
+	if _, ok := s.Get(Key([]byte("x"))); ok {
+		t.Fatal("hit from a directory that does not exist")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := testStore(t)
+	for _, key := range []string{"", "../escape", "UPPER", "has space", "deadbeef/../../etc"} {
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+	}
+}
+
+// TestConcurrentSameKeyWriters pins the convergence contract: many
+// writers racing on one key leave exactly one entry, and it is some
+// writer's complete payload — never an interleaving.
+func TestConcurrentSameKeyWriters(t *testing.T) {
+	s := testStore(t)
+	key := Key([]byte("contended"))
+	const writers = 16
+	valid := make(map[string]bool, writers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		payload := []byte(fmt.Sprintf(`{"writer": %d, "pad": "%064d"}`, i, i))
+		mu.Lock()
+		valid[string(payload)] = true
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put(key, payload); err != nil {
+				t.Errorf("Put: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("miss after concurrent writes")
+	}
+	if !valid[string(got)] {
+		t.Fatalf("surviving entry is not any single writer's payload: %q", got)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("store holds %d entries, want 1", n)
+	}
+	// No temp debris left behind by the losing writers.
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if de.Name() != key+entrySuffix {
+			t.Errorf("leftover file %s", de.Name())
+		}
+	}
+}
+
+func TestGCEvictsLRU(t *testing.T) {
+	s := testStore(t)
+	payload := bytes.Repeat([]byte("x"), 1024)
+	perEntry := int64(headerSize + len(payload))
+	s.SetMaxBytes(4 * perEntry)
+
+	var keys []string
+	for i := 0; i < 4; i++ {
+		key := Key([]byte(fmt.Sprintf("entry-%d", i)))
+		keys = append(keys, key)
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so LRU order is unambiguous on coarse
+		// filesystem timestamps.
+		stamp := time.Now().Add(time.Duration(i-10) * time.Hour)
+		os.Chtimes(filepath.Join(s.dir, key+entrySuffix), stamp, stamp)
+	}
+	// Touch entry 0 (a read hit would do the same) so entry 1 is now the
+	// least recently used.
+	now := time.Now()
+	os.Chtimes(filepath.Join(s.dir, keys[0]+entrySuffix), now, now)
+
+	over := Key([]byte("one-too-many"))
+	if err := s.Put(over, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Error("LRU entry survived a GC that had to evict")
+	}
+	for _, key := range []string{keys[0], over} {
+		if _, ok := s.Get(key); !ok {
+			t.Errorf("recently-used entry %s evicted", key[:8])
+		}
+	}
+	if n := s.Len(); n > 4 {
+		t.Errorf("store holds %d entries, cap allows 4", n)
+	}
+}
+
+func TestGCSweepsStaleTempFiles(t *testing.T) {
+	s := testStore(t)
+	s.SetMaxBytes(1) // any write triggers GC
+	stale := filepath.Join(s.dir, "deadbeef"+tmpSuffix+"12345")
+	if err := os.WriteFile(stale, []byte("killed writer debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tmpMaxAge)
+	os.Chtimes(stale, old, old)
+	if err := s.Put(Key([]byte("k")), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if fileExists(stale) {
+		t.Error("stale temp file survived GC")
+	}
+}
+
+func TestOpenSharesHandles(t *testing.T) {
+	dir := t.TempDir()
+	a := Open(dir)
+	b := Open(dir + string(os.PathSeparator))
+	if a != b {
+		t.Error("Open returned distinct handles for one directory")
+	}
+	if a.Dir() == "" {
+		t.Error("empty Dir()")
+	}
+}

@@ -402,7 +402,18 @@ func SpecFromConfig(cfg Config) (*JobSpec, error) {
 	}
 	switch {
 	case cfg.Workload != nil && len(cfg.Mix) == 0:
-		name, tweak, err := describe(cfg.Workload)
+		w := cfg.Workload
+		if w.Prog == nil && w.TraceDir != "" && w.Prof == synth.TraceProfile(w.Prof.Name) {
+			// A WorkloadFromTrace wrapper: no program, no tuned profile —
+			// the capture directory is its whole identity, so the config is
+			// expressible as a trace-only spec (JobSpec.Config rebuilds it
+			// through WorkloadFromTrace).
+			if s.TraceDir == "" {
+				s.TraceDir = w.TraceDir
+			}
+			break
+		}
+		name, tweak, err := describe(w)
 		if err != nil {
 			return nil, err
 		}

@@ -199,6 +199,54 @@ func TestSpecFromConfigRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSpecFromConfigTraceOnly is the regression test for trace-wrapper
+// configs: a Workload built by WorkloadFromTrace has a synthetic
+// "trace:<dir>" profile that is not a named profile, so SpecFromConfig
+// used to reject it even though the capture directory fully describes
+// the run. It must map onto a trace-only spec and round-trip.
+func TestSpecFromConfigTraceOnly(t *testing.T) {
+	src, err := BuildWorkload("DSS-Qrys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := CaptureTrace(src, dir, 1, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	w, err := WorkloadFromTrace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Workload: w, Design: Base1K, Cores: 1, NoWarmup: true, MeasureInstr: 10_000}
+	spec, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatalf("SpecFromConfig(trace-only workload): %v", err)
+	}
+	if spec.TraceDir != dir || spec.Workload != "" || spec.Profile != nil {
+		t.Fatalf("spec = %+v, want trace-only with TraceDir %q", spec, dir)
+	}
+
+	back, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload == nil || back.Workload.TraceDir != dir || back.Workload.Prof != w.Prof {
+		t.Errorf("round-tripped workload = %+v, want the trace wrapper for %q", back.Workload, dir)
+	}
+
+	// An explicit Config.TraceDir (replaying a different capture over the
+	// wrapper) wins over the wrapper's own directory.
+	other := Config{Workload: w, TraceDir: dir, Design: Base1K}
+	spec2, err := SpecFromConfig(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.TraceDir != dir {
+		t.Errorf("spec.TraceDir = %q, want %q", spec2.TraceDir, dir)
+	}
+}
+
 // TestSpecFromConfigTweaked covers the tweak reconstruction: a profile
 // differing from its base in exactly the ProfileTweak fields round-trips.
 func TestSpecFromConfigTweaked(t *testing.T) {
