@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke store-smoke fmt vet cover fuzz examples ci
+.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke store-smoke fleet-smoke fmt vet cover fuzz examples ci
 
 all: build test
 
@@ -34,12 +34,14 @@ bench:
 # committing perf trajectories alongside PRs; see BENCH_pr3_*.json. The
 # test run and the JSON conversion are separate commands so a failing
 # benchmark fails the target instead of hiding behind the pipe.
-# Snapshots average 3 iterations: at 1x a single multi-second macro
-# benchmark jitters past bench-compare's 10% gate on loaded or small
-# machines, so the committed trajectory was a coin flip.
+# Snapshots take the median of 5 separate runs (-count=5; benchjson merges
+# repeated lines per benchmark): a scheduler spike on a loaded or small
+# machine contaminates one run, never the middle of five, whereas the old
+# mean-of-3-iterations carried a third of every spike straight into
+# bench-compare's 10% gate and made the committed trajectory a coin flip.
 BENCH_OUT ?= bench.json
 bench-json:
-	go test -run '^$$' -bench=. -benchtime=3x -benchmem ./... > $(BENCH_OUT).txt
+	go test -run '^$$' -bench=. -benchtime=1x -count=5 -benchmem ./... > $(BENCH_OUT).txt
 	go run ./cmd/benchjson < $(BENCH_OUT).txt > $(BENCH_OUT)
 	@rm -f $(BENCH_OUT).txt
 
@@ -55,8 +57,8 @@ bench-intra:
 # sub-100µs micro-benchmarks from gating (still printed): at the
 # snapshots' -benchtime=1x a single ~100ns call cannot be timed reliably,
 # and gating on it would flag a random set every run.
-BENCH_BEFORE ?= BENCH_pr7_before.json
-BENCH_AFTER  ?= BENCH_pr7_after.json
+BENCH_BEFORE ?= BENCH_pr8_before.json
+BENCH_AFTER  ?= BENCH_pr8_after.json
 bench-compare:
 	go run ./cmd/benchjson -compare -floor 100000 $(BENCH_BEFORE) $(BENCH_AFTER)
 
@@ -81,6 +83,15 @@ serve-smoke:
 # byte-for-byte against a from-scratch run with an empty store.
 store-smoke:
 	STORE_SMOKE=1 go test ./cmd/confluence-sim -run TestStoreSmoke -count=1 -v
+
+# fleet-smoke proves the fleet protocol preemption-proof with the real
+# race-enabled binary: a coordinator plus three workers share one sweep,
+# two workers SIGKILL themselves mid-cell (chaos kill-after-claims) and
+# their cells are reclaimed via lease expiry; the coordinator's stdout
+# must be byte-identical to a serial run. A second grid with a poison
+# cell must quarantine it after the retry budget and exit non-zero.
+fleet-smoke:
+	FLEET_SMOKE=1 go test ./cmd/confluence-sim -run TestFleetSmoke -count=1 -v -timeout 15m
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -109,4 +120,4 @@ examples:
 
 # `cover` runs the full `go test ./...` suite itself, so ci does not also
 # depend on the plain `test` target (race is the only second full pass).
-ci: fmt vet build cover examples race bench fuzz serve-smoke store-smoke
+ci: fmt vet build cover examples race bench fuzz serve-smoke store-smoke fleet-smoke

@@ -10,7 +10,10 @@
 // Every benchmark line becomes one record carrying the iteration count and
 // all reported metrics (ns/op, B/op, allocs/op, and any custom b.ReportMetric
 // units such as Minstr/s). Non-benchmark lines are ignored, so the tool
-// tolerates -v logs and table dumps interleaved with results.
+// tolerates -v logs and table dumps interleaved with results. Repeated runs
+// of the same benchmark (from `go test -count=N`) collapse into one record
+// per benchmark holding the per-metric median across runs, so committed
+// snapshots shrug off one-run scheduler spikes on noisy shared machines.
 //
 // With -compare, the tool diffs two snapshots instead: it prints a
 // per-benchmark ns/op delta table (benchmarks present in only one snapshot
@@ -85,12 +88,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	out.Benchmarks = mergeRecords(out.Benchmarks)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// mergeRecords collapses repeated runs of the same benchmark (one line per
+// `go test -count=N` run) into a single record per benchmark, taking the
+// per-metric median across runs and summing iterations to report total
+// sampling effort. The median is what makes committed snapshots gate-stable
+// on noisy shared machines: a scheduler or cache spike contaminates one run,
+// never the middle of five, whereas a mean carries a share of every spike
+// straight into bench-compare's regression judgment. Input order of first
+// appearance is preserved; single-run benchmarks pass through untouched.
+func mergeRecords(recs []Record) []Record {
+	runs := map[string][]Record{}
+	var order []string
+	for _, r := range recs {
+		k := benchKey(r)
+		if _, seen := runs[k]; !seen {
+			order = append(order, k)
+		}
+		runs[k] = append(runs[k], r)
+	}
+	out := make([]Record, 0, len(order))
+	for _, k := range order {
+		rs := runs[k]
+		if len(rs) == 1 {
+			out = append(out, rs[0])
+			continue
+		}
+		merged := Record{Pkg: rs[0].Pkg, Name: rs[0].Name, Metrics: map[string]float64{}}
+		vals := map[string][]float64{}
+		for _, r := range rs {
+			merged.Iterations += r.Iterations
+			for unit, v := range r.Metrics {
+				vals[unit] = append(vals[unit], v)
+			}
+		}
+		for unit, vs := range vals {
+			sort.Float64s(vs)
+			if n := len(vs); n%2 == 1 {
+				merged.Metrics[unit] = vs[n/2]
+			} else {
+				merged.Metrics[unit] = (vs[n/2-1] + vs[n/2]) / 2
+			}
+		}
+		out = append(out, merged)
+	}
+	return out
 }
 
 // loadSnapshot reads a benchjson document from disk.

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func rec(pkg, name string, iters int64, ns float64) Record {
+	return Record{Pkg: pkg, Name: name, Iterations: iters, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestMergeRecordsMedianOfRuns(t *testing.T) {
+	// Five runs of one benchmark, one of them a 10x spike: the median must
+	// ignore the spike entirely (the property the snapshot gate relies on).
+	in := []Record{
+		rec("p", "BenchmarkX", 1, 100),
+		rec("p", "BenchmarkX", 1, 105),
+		rec("p", "BenchmarkX", 1, 1000), // spike
+		rec("p", "BenchmarkX", 1, 98),
+		rec("p", "BenchmarkX", 1, 102),
+	}
+	out := mergeRecords(in)
+	if len(out) != 1 {
+		t.Fatalf("got %d records, want 1", len(out))
+	}
+	if got := out[0].Metrics["ns/op"]; got != 102 {
+		t.Errorf("median ns/op = %v, want 102", got)
+	}
+	if out[0].Iterations != 5 {
+		t.Errorf("iterations = %d, want 5 (summed)", out[0].Iterations)
+	}
+}
+
+func TestMergeRecordsEvenCountAveragesMiddlePair(t *testing.T) {
+	in := []Record{
+		rec("p", "BenchmarkX", 1, 100),
+		rec("p", "BenchmarkX", 1, 110),
+		rec("p", "BenchmarkX", 1, 90),
+		rec("p", "BenchmarkX", 1, 400),
+	}
+	if got := mergeRecords(in)[0].Metrics["ns/op"]; got != 105 {
+		t.Errorf("even-count median = %v, want 105", got)
+	}
+}
+
+func TestMergeRecordsPreservesOrderAndSingles(t *testing.T) {
+	in := []Record{
+		rec("p", "BenchmarkB", 3, 7),
+		rec("q", "BenchmarkA", 1, 50),
+		rec("q", "BenchmarkA", 1, 60),
+		rec("p", "BenchmarkC", 2, 9),
+	}
+	out := mergeRecords(in)
+	if len(out) != 3 {
+		t.Fatalf("got %d records, want 3", len(out))
+	}
+	names := []string{benchKey(out[0]), benchKey(out[1]), benchKey(out[2])}
+	want := []string{"p.BenchmarkB", "q.BenchmarkA", "p.BenchmarkC"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("order = %v, want %v", names, want)
+	}
+	// Single-run records pass through untouched, including their metrics map.
+	if !reflect.DeepEqual(out[0], in[0]) {
+		t.Errorf("single-run record mutated: %+v != %+v", out[0], in[0])
+	}
+	if got := out[1].Metrics["ns/op"]; got != 55 {
+		t.Errorf("merged ns/op = %v, want 55", got)
+	}
+}
+
+func TestMergeRecordsSameNameDifferentPkg(t *testing.T) {
+	in := []Record{
+		rec("p", "BenchmarkX", 1, 10),
+		rec("q", "BenchmarkX", 1, 90),
+	}
+	if out := mergeRecords(in); len(out) != 2 {
+		t.Fatalf("records from different packages merged: %+v", out)
+	}
+}
+
+func TestParseBenchStripsGOMAXPROCSSuffix(t *testing.T) {
+	r, ok := parseBench("BenchmarkX-8  10  123.5 ns/op  4 B/op  1 allocs/op")
+	if !ok {
+		t.Fatal("parseBench failed")
+	}
+	if r.Name != "BenchmarkX" {
+		t.Errorf("name = %q, want BenchmarkX", r.Name)
+	}
+	if r.Iterations != 10 || r.Metrics["ns/op"] != 123.5 || r.Metrics["allocs/op"] != 1 {
+		t.Errorf("unexpected record: %+v", r)
+	}
+}

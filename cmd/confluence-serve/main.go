@@ -5,7 +5,7 @@
 //
 //	confluence-serve [-addr :8455] [-queue 64] [-workers 2]
 //	                 [-quota-rps 0] [-quota-burst 4] [-drain-timeout 60s]
-//	                 [-store DIR] [-store-max-bytes N]
+//	                 [-store DIR] [-store-max-bytes N] [-fleet DIR]
 //
 // Clients POST JobSpecs to /jobs (see the README's Serving section for
 // the schema and endpoints), stream progress from /jobs/{id}/events, and
@@ -23,6 +23,13 @@
 // and a restarted daemon still serves results computed before the
 // restart. -store-max-bytes caps the store's size with least-recently-
 // used eviction (0 = unlimited).
+//
+// With -fleet (requires -store), point and sweep jobs run through a
+// lease-based work-stealing fleet: each job publishes its cell grid under
+// the fleet directory and `confluence-sim -fleet-worker` processes
+// pointed there compute cells alongside the daemon. With no workers
+// attached jobs execute inline as before; results are byte-identical
+// either way.
 package main
 
 import (
@@ -50,8 +57,12 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for accepted jobs on shutdown")
 	storeDir := flag.String("store", "", "durable result store directory: finished jobs persist and identical re-submissions are cache hits")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store size cap in bytes with LRU eviction (0 = unlimited; needs -store)")
+	fleetDir := flag.String("fleet", "", "fleet coordination directory: point/sweep jobs publish cell grids here for -fleet-worker processes (needs -store)")
 	flag.Parse()
 
+	if *fleetDir != "" && *storeDir == "" {
+		fatal(errors.New("-fleet needs -store (fleet cells land in the durable store)"))
+	}
 	if *storeDir != "" {
 		// Fail fast on an unusable store directory rather than degrading
 		// every Put into a silent no-op for the daemon's whole lifetime.
@@ -71,6 +82,7 @@ func main() {
 		QuotaRPS:   *quotaRPS,
 		QuotaBurst: *quotaBurst,
 		StoreDir:   *storeDir,
+		FleetDir:   *fleetDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -83,6 +95,9 @@ func main() {
 	fmt.Printf("confluence-serve: listening on %s (queue=%d workers=%d)\n", ln.Addr(), *queue, *workers)
 	if *storeDir != "" {
 		fmt.Printf("confluence-serve: result store at %s\n", store.Open(*storeDir).Dir())
+	}
+	if *fleetDir != "" {
+		fmt.Printf("confluence-serve: fleet coordination at %s\n", *fleetDir)
 	}
 
 	sig := make(chan os.Signal, 2)

@@ -7,6 +7,8 @@
 //	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
 //	confluence-sim -mix OLTP-DB2,Web-Frontend [-scale ...]
 //	confluence-sim -job job.json [-v]
+//	confluence-sim -fleet-coordinator DIR -job job.json -store DIR [-fleet-lease-ttl D] [-v]
+//	confluence-sim -fleet-worker DIR [-v]
 //
 // The default runs everything at the "default" scale (8 cores, 3M
 // instructions per core), fanning independent simulation cells out across
@@ -44,6 +46,20 @@
 // its completed cells on the next invocation, with byte-identical output.
 // The flag composes with every mode; a summary of store traffic prints to
 // stderr on exit.
+//
+// With -fleet-coordinator, the binary publishes the -job spec's grid as a
+// lease-based fleet rooted at DIR and participates in it: any number of
+// `confluence-sim -fleet-worker DIR` processes (started before or after,
+// on the same filesystem) pull unclaimed cells work-stealing style, and
+// SIGKILLed workers' cells are reclaimed when their leases expire. With
+// zero workers attached the coordinator executes the whole grid inline.
+// Either way stdout is byte-identical to the plain `-job` run: the final
+// result is always served from the -store in canonical order. Cells that
+// keep failing are quarantined after their retry budget; the coordinator
+// then exits non-zero listing them (the healthy cells' results remain in
+// the store). Fleet progress goes to stderr only. The
+// CONFLUENCE_FLEET_CHAOS environment variable injects faults for the
+// robustness harness (see internal/fleet).
 package main
 
 import (
@@ -57,6 +73,7 @@ import (
 	"confluence"
 	"confluence/internal/cliutil"
 	"confluence/internal/experiments"
+	"confluence/internal/fleet"
 	"confluence/internal/serve"
 	"confluence/internal/store"
 )
@@ -73,6 +90,9 @@ func main() {
 	mixFlag := flag.String("mix", "", "comma-separated workload names: run the consolidation study on this mix (core i runs workload i mod N)")
 	jobFlag := flag.String("job", "", "execute a JobSpec JSON file (the confluence-serve schema) and print its result rows")
 	storeDir := flag.String("store", "", "durable result store directory: completed cells persist and repeat runs resume from them")
+	fleetCoord := flag.String("fleet-coordinator", "", "publish the -job grid as a fleet rooted at this directory and participate until it resolves (requires -job and -store)")
+	fleetWorker := flag.String("fleet-worker", "", "attach to the fleet rooted at this directory and work cells until the grid resolves")
+	fleetTTL := flag.Duration("fleet-lease-ttl", 0, "fleet cell lease TTL (coordinator default 10s; workers inherit the manifest's)")
 	flag.Parse()
 	defer reportStore(*storeDir)
 
@@ -88,6 +108,21 @@ func main() {
 	ctx, stop := cliutil.InterruptContext()
 	defer stop()
 
+	if *fleetWorker != "" {
+		if err := runFleetWorker(ctx, *fleetWorker, *fleetTTL, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fleetCoord != "" {
+		if *jobFlag == "" || *storeDir == "" {
+			fatal(fmt.Errorf("-fleet-coordinator requires -job (the grid) and -store (where results land)"))
+		}
+		if err := runFleetCoordinator(ctx, *fleetCoord, *jobFlag, *storeDir, *fleetTTL, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *jobFlag != "" {
 		if err := runJobFile(ctx, *jobFlag, *storeDir, *verbose); err != nil {
 			fatal(err)
@@ -292,30 +327,114 @@ func runMix(ctx context.Context, sc experiments.Scale, spec, storeDir string, wo
 // runJobFile executes a JobSpec file through the serving executor — the
 // exact path a confluence-serve worker takes — and prints the result.
 func runJobFile(ctx context.Context, path, storeDir string, verbose bool) error {
+	spec, err := loadJobSpec(path)
+	if err != nil {
+		return err
+	}
+	res, err := serve.ExecuteSpecStore(ctx, spec, storeDir, jobEmitter(verbose))
+	if err != nil {
+		return err
+	}
+	printJobResult(res)
+	return nil
+}
+
+// loadJobSpec reads and parses a JobSpec file.
+func loadJobSpec(path string) (*confluence.JobSpec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	spec, err := confluence.ParseJobSpec(data)
-	if err != nil {
-		return err
+	return confluence.ParseJobSpec(data)
+}
+
+// jobEmitter returns the verbose per-cell progress printer (nil when
+// quiet). Progress goes to stderr; stdout carries only the result, which
+// is what keeps fleet and serial runs byte-comparable.
+func jobEmitter(verbose bool) func(experiments.ProgressEvent) {
+	if !verbose {
+		return nil
 	}
-	var emit func(experiments.ProgressEvent)
-	if verbose {
-		emit = func(e experiments.ProgressEvent) { fmt.Fprintln(os.Stderr, "  "+e.String()) }
-	}
-	res, err := serve.ExecuteSpecStore(ctx, spec, storeDir, emit)
-	if err != nil {
-		return err
-	}
+	return func(e experiments.ProgressEvent) { fmt.Fprintln(os.Stderr, "  "+e.String()) }
+}
+
+// printJobResult renders a job result to stdout in the -job layout.
+func printJobResult(res *serve.Result) {
 	if res.Kind == confluence.KindMixStudy {
 		fmt.Println(experiments.MixStudyTable(res.MixRows))
-		return nil
+		return
 	}
 	fmt.Printf("%-20s %-18s %7s %8s %8s %9s\n", "mix", "design", "IPC", "btbMPKI", "l1iMPKI", "area mm2")
 	for _, c := range res.Cells {
 		fmt.Printf("%-20s %-18s %7.3f %8.1f %8.1f %9.3f\n",
 			c.Mix, c.Design, c.Stats.IPC(), c.Stats.BTBMPKI(), c.Stats.L1IMPKI(), c.OverheadMM2)
+	}
+}
+
+// fleetEventLogger streams fleet protocol events to stderr when verbose.
+func fleetEventLogger(verbose bool) func(fleet.Event) {
+	if !verbose {
+		return nil
+	}
+	return func(e fleet.Event) {
+		line := fmt.Sprintf("fleet %-6s %s worker=%s", e.Type, e.Cell, e.Worker)
+		if e.Attempt > 0 {
+			line += fmt.Sprintf(" attempt=%d", e.Attempt)
+		}
+		if e.Err != "" {
+			line += " err=" + e.Err
+		}
+		fmt.Fprintln(os.Stderr, "  "+line)
+	}
+}
+
+// runFleetCoordinator publishes the job's grid into dir, participates
+// until it resolves, and prints the assembled result — byte-identical to
+// the plain -job run. Quarantined cells surface as an error (non-zero
+// exit) after the healthy cells have completed and persisted.
+func runFleetCoordinator(ctx context.Context, dir, jobPath, storeDir string, ttl time.Duration, verbose bool) error {
+	spec, err := loadJobSpec(jobPath)
+	if err != nil {
+		return err
+	}
+	chaos, err := fleet.ChaosFromEnv()
+	if err != nil {
+		return err
+	}
+	o := fleet.Options{Dir: dir, LeaseTTL: ttl, Chaos: chaos, OnEvent: fleetEventLogger(verbose)}
+	res, rep, err := serve.ExecuteSpecFleet(ctx, spec, storeDir, o, jobEmitter(verbose))
+	if rep != nil {
+		fmt.Fprintf(os.Stderr, "fleet %s: %d completed, %d hits, %d steals, %d quarantined\n",
+			dir, rep.Completed, rep.Hits, rep.Steals, len(rep.Poisoned))
+	}
+	if err != nil {
+		return err
+	}
+	printJobResult(res)
+	return nil
+}
+
+// runFleetWorker attaches to the fleet at dir and works cells until the
+// grid resolves. Workers exit zero even when the grid ends with
+// quarantined cells — a poison cell is the grid's defect, not this
+// worker's — and report what they saw on stderr.
+func runFleetWorker(ctx context.Context, dir string, ttl time.Duration, verbose bool) error {
+	chaos, err := fleet.ChaosFromEnv()
+	if err != nil {
+		return err
+	}
+	o := fleet.Options{
+		Dir: dir, Run: serve.CellRunner(), LeaseTTL: ttl,
+		Chaos: chaos, OnEvent: fleetEventLogger(verbose),
+	}
+	rep, err := fleet.Worker(ctx, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fleet worker done: %d completed, %d hits, %d steals, %d quarantined\n",
+		rep.Completed, rep.Hits, rep.Steals, len(rep.Poisoned))
+	for _, p := range rep.Poisoned {
+		fmt.Fprintf(os.Stderr, "  quarantined %s after %d attempts: %s\n", p.CellID, p.Attempts, p.LastErr)
 	}
 	return nil
 }

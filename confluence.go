@@ -292,25 +292,26 @@ func Run(cfg Config) (*Result, error) {
 	return RunCtx(context.Background(), cfg)
 }
 
-// RunCtx assembles and simulates one design point, honoring cancellation
-// mid-run: the epoch engine polls ctx at every epoch barrier, so a
-// cancelled simulation returns ctx.Err() within a few dozen basic blocks
-// per core instead of running to its instruction target. A run that
-// completes is bit-identical to Run — the poll feeds nothing back into
-// the timing model.
-func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+// resolveConfig applies RunCtx's defaulting rules — mix vs. single
+// workload, CMP width, intra-parallelism knobs, the warmup/measure
+// instruction sentinels — and returns the resolved mix, engine options,
+// and config. It exists so ConfigStoreKey and RunCtx derive store keys
+// from one resolution path: a coordinator that computed keys with its own
+// copy of these rules would silently diverge the moment a default
+// changed.
+func resolveConfig(cfg Config) ([]*Workload, core.Options, Config, error) {
 	mix := cfg.Mix
 	switch {
 	case len(mix) == 0 && cfg.Workload == nil:
-		return nil, fmt.Errorf("confluence: Config.Workload or Config.Mix is required")
+		return nil, core.Options{}, cfg, fmt.Errorf("confluence: Config.Workload or Config.Mix is required")
 	case len(mix) > 0 && cfg.Workload != nil:
-		return nil, fmt.Errorf("confluence: Config.Workload and Config.Mix are mutually exclusive")
+		return nil, core.Options{}, cfg, fmt.Errorf("confluence: Config.Workload and Config.Mix are mutually exclusive")
 	case len(mix) == 0:
 		mix = []*Workload{cfg.Workload}
 	}
 	for _, w := range mix {
 		if w == nil {
-			return nil, fmt.Errorf("confluence: nil workload in Config.Mix")
+			return nil, core.Options{}, cfg, fmt.Errorf("confluence: nil workload in Config.Mix")
 		}
 	}
 	opt := cfg.Options
@@ -339,6 +340,33 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.MeasureInstr == 0 {
 		cfg.MeasureInstr = 1_500_000
+	}
+	return mix, opt, cfg, nil
+}
+
+// ConfigStoreKey returns the durable store key RunCtx will read and write
+// for cfg, after applying the same defaulting rules. ok is false when the
+// config is invalid or contains opaque key material (an Options.Sources
+// closure) that keeps it out of the store. Fleet coordinators use this to
+// name grid cells without running anything.
+func ConfigStoreKey(cfg Config) (string, bool) {
+	mix, opt, cfg, err := resolveConfig(cfg)
+	if err != nil {
+		return "", false
+	}
+	return experiments.CellStoreKey(cfg.WarmupInstr, cfg.MeasureInstr, mix, cfg.TraceDir, cfg.Design, opt)
+}
+
+// RunCtx assembles and simulates one design point, honoring cancellation
+// mid-run: the epoch engine polls ctx at every epoch barrier, so a
+// cancelled simulation returns ctx.Err() within a few dozen basic blocks
+// per core instead of running to its instruction target. A run that
+// completes is bit-identical to Run — the poll feeds nothing back into
+// the timing model.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	mix, opt, cfg, err := resolveConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	// The store key must be derived before TraceDir is folded into an
 	// opt.Sources closure below: a closure is opaque (CellStoreKey skips

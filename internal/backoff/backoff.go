@@ -1,0 +1,73 @@
+// Package backoff is the shared retry pacing helper: exponential delays
+// with full jitter, deterministic under a seeded source so tests that
+// exercise retry loops (lease renewal, fleet claim scans) stay
+// reproducible. The zero Policy is unusable; start from Default and
+// override fields.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy shapes a retry schedule: Base doubles (times Factor) per attempt
+// up to Max, and each delay is jittered uniformly in [delay*(1-Jitter),
+// delay]. Jitter spreads concurrent retriers (two workers whose claim
+// scans collide must not collide forever); the deterministic source keeps
+// the spread reproducible.
+type Policy struct {
+	Base   time.Duration // first delay (attempt 0)
+	Max    time.Duration // ceiling on the un-jittered delay
+	Factor float64       // growth per attempt; <= 1 means constant
+	Jitter float64       // fraction of the delay randomized away, in [0, 1]
+}
+
+// Default is the fleet's retry shape: fast first retry, capped at a
+// second, half-jittered.
+var Default = Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+
+// Delay returns the pause before retry number attempt (0-based), drawing
+// jitter from rng. A nil rng skips jitter entirely, which callers use for
+// exact-schedule tests.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.Base)
+	if d <= 0 {
+		d = float64(Default.Base)
+	}
+	f := p.Factor
+	if f < 1 {
+		f = 1
+	}
+	for i := 0; i < attempt; i++ {
+		d *= f
+		if p.Max > 0 && d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if rng != nil && p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 - j*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Sleep pauses for Delay(attempt, rng) or until cancel is closed,
+// reporting false when the wait was cancelled. It is the loop body shared
+// by the fleet's claim scan and lease renewal retries.
+func (p Policy) Sleep(attempt int, rng *rand.Rand, cancel <-chan struct{}) bool {
+	t := time.NewTimer(p.Delay(attempt, rng))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}

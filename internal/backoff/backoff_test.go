@@ -1,0 +1,67 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for attempt := 0; attempt < 8; attempt++ {
+		got := p.Delay(attempt, a)
+		unjittered := p.Delay(attempt, nil)
+		if got > unjittered || got < unjittered/2 {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", attempt, got, unjittered/2, unjittered)
+		}
+		if again := p.Delay(attempt, b); again != got {
+			t.Errorf("Delay(%d): same seed gave %v then %v", attempt, got, again)
+		}
+	}
+}
+
+func TestDelayDegenerateFieldsFallBack(t *testing.T) {
+	var p Policy // zero Base/Factor must not produce a zero busy-loop delay
+	if got := p.Delay(0, nil); got != Default.Base {
+		t.Errorf("zero policy Delay(0) = %v, want Default.Base %v", got, Default.Base)
+	}
+	if got := p.Delay(5, nil); got != Default.Base {
+		t.Errorf("zero policy (Factor<1) Delay(5) = %v, want constant %v", got, Default.Base)
+	}
+	over := Policy{Base: time.Millisecond, Factor: 2, Jitter: 3}
+	if got := over.Delay(0, rand.New(rand.NewSource(1))); got < 0 || got > time.Millisecond {
+		t.Errorf("Jitter>1 Delay = %v outside [0, base]", got)
+	}
+}
+
+func TestSleepCancel(t *testing.T) {
+	p := Policy{Base: time.Hour, Factor: 1}
+	cancel := make(chan struct{})
+	close(cancel)
+	start := time.Now()
+	if p.Sleep(0, nil, cancel) {
+		t.Error("Sleep with closed cancel returned true")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled Sleep actually slept")
+	}
+	fast := Policy{Base: time.Microsecond, Factor: 1}
+	if !fast.Sleep(0, nil, make(chan struct{})) {
+		t.Error("uncancelled Sleep returned false")
+	}
+}

@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFleetClaim measures the claim → renew → release hot path: the
+// per-cell coordination overhead a fleet pays on top of the simulation
+// itself. Three lease-file writes per cell; this is the floor for how
+// fine-grained a cell can be before coordination dominates.
+func BenchmarkFleetClaim(b *testing.B) {
+	o := Options{Dir: b.TempDir(), WorkerID: "bench"}
+	ttl := 10 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("c%06d", i%1024)
+		claimed, _ := o.tryClaim(id, ttl, time.Now())
+		if !claimed {
+			b.Fatalf("claim of free cell %s failed", id)
+		}
+		if !o.renew(id, ttl, time.Now()) {
+			b.Fatalf("renew of held lease %s failed", id)
+		}
+		o.release(id)
+	}
+}
+
+// BenchmarkFleetSteal measures the reclaim path: detecting an expired
+// lease and winning the tombstone rename.
+func BenchmarkFleetSteal(b *testing.B) {
+	dead := Options{Dir: b.TempDir(), WorkerID: "dead"}
+	thief := Options{Dir: dead.Dir, WorkerID: "thief"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("c%06d", i%1024)
+		if ok, _ := dead.tryClaim(id, -time.Second, time.Now()); !ok {
+			b.Fatalf("seed claim of %s failed", id)
+		}
+		claimed, stole := thief.tryClaim(id, 10*time.Second, time.Now())
+		if !claimed || !stole {
+			b.Fatalf("steal of expired %s failed (claimed=%v stole=%v)", id, claimed, stole)
+		}
+		thief.release(id)
+	}
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+)
+
+// Chaos is the fault-injection seam the fleet's robustness claims are
+// proven against. Each knob injects one failure mode the protocol must
+// absorb:
+//
+//   - KillAfterClaims: SIGKILL this process immediately after its Nth
+//     successful claim — a worker dying mid-cell with a live lease, the
+//     spot-preemption case. The cell must be reclaimed and re-run
+//     elsewhere with no trace in the final output.
+//   - StallRenewals: the heartbeat stops renewing, so a healthy runner's
+//     lease silently expires mid-cell and is stolen. Both the stale
+//     finisher and the stealer complete; the store's idempotence must
+//     absorb the duplicate.
+//   - FailPuts: the first N store writes return an injected error, so
+//     finished work fails to persist and the cell must retry under its
+//     budget.
+//   - FailCell: every run of the named cell fails — the poison cell. It
+//     must be quarantined after MaxAttempts and the rest of the grid must
+//     still complete.
+//
+// The zero value (and a nil *Chaos) injects nothing. Counters are
+// process-wide atomics so a chaotic participant behaves identically
+// whether its cells run on one goroutine or several.
+type Chaos struct {
+	KillAfterClaims int
+	StallRenewals   bool
+	FailPuts        int
+	FailCell        string
+
+	claims atomic.Int32
+	puts   atomic.Int32
+}
+
+// onClaimed is called after every successful claim; with KillAfterClaims
+// set it SIGKILLs the process on the Nth — no deferred cleanup, no lease
+// release, exactly like external preemption.
+func (c *Chaos) onClaimed() {
+	if c == nil || c.KillAfterClaims <= 0 {
+		return
+	}
+	if int(c.claims.Add(1)) >= c.KillAfterClaims {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable; SIGKILL is not deliverable to a handler
+	}
+}
+
+// stallRenewals reports whether the heartbeat should skip renewing.
+func (c *Chaos) stallRenewals() bool { return c != nil && c.StallRenewals }
+
+// put wraps a store write, injecting failures for the first FailPuts
+// calls.
+func (c *Chaos) put(st Store, key string, payload []byte) error {
+	if c != nil && c.FailPuts > 0 && int(c.puts.Add(1)) <= c.FailPuts {
+		return fmt.Errorf("fleet: chaos-injected store write error")
+	}
+	return st.Put(key, payload)
+}
+
+// failRun returns the injected run error for a poison cell, nil
+// otherwise.
+func (c *Chaos) failRun(cellID string) error {
+	if c != nil && c.FailCell != "" && c.FailCell == cellID {
+		return fmt.Errorf("fleet: chaos-injected crash in cell %s", cellID)
+	}
+	return nil
+}
+
+// ChaosEnv is the environment variable real fleet processes read chaos
+// directives from, so the smoke harness can inject faults into unmodified
+// binaries: a comma-separated list of
+// kill-after-claims=N, stall-renewals, fail-puts=N, fail-cell=ID.
+const ChaosEnv = "CONFLUENCE_FLEET_CHAOS"
+
+// ChaosFromEnv parses ChaosEnv. An unset or empty variable returns nil
+// (no chaos); a malformed directive is an error, never a silent no-op —
+// a smoke test whose fault injection is skipped would pass vacuously.
+func ChaosFromEnv() (*Chaos, error) {
+	return parseChaos(os.Getenv(ChaosEnv))
+}
+
+func parseChaos(s string) (*Chaos, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	c := &Chaos{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "kill-after-claims":
+			n, err := strconv.Atoi(val)
+			if !hasVal || err != nil || n < 1 {
+				return nil, fmt.Errorf("fleet: %s: kill-after-claims needs a positive count, got %q", ChaosEnv, part)
+			}
+			c.KillAfterClaims = n
+		case "stall-renewals":
+			if hasVal {
+				return nil, fmt.Errorf("fleet: %s: stall-renewals takes no value, got %q", ChaosEnv, part)
+			}
+			c.StallRenewals = true
+		case "fail-puts":
+			n, err := strconv.Atoi(val)
+			if !hasVal || err != nil || n < 1 {
+				return nil, fmt.Errorf("fleet: %s: fail-puts needs a positive count, got %q", ChaosEnv, part)
+			}
+			c.FailPuts = n
+		case "fail-cell":
+			if !hasVal || val == "" {
+				return nil, fmt.Errorf("fleet: %s: fail-cell needs a cell ID, got %q", ChaosEnv, part)
+			}
+			c.FailCell = val
+		default:
+			return nil, fmt.Errorf("fleet: %s: unknown directive %q", ChaosEnv, part)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,588 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"confluence/internal/store"
+)
+
+// testStore is an in-memory Store with injectable behavior — the fleet
+// protocol is exercised against it so unit tests stay filesystem-light on
+// the result side (the coordination directory is always real files).
+type testStore struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	puts    atomic.Int32
+}
+
+func newTestStore() *testStore { return &testStore{entries: map[string][]byte{}} }
+
+func (s *testStore) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+func (s *testStore) Put(key string, payload []byte) error {
+	s.puts.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = append([]byte(nil), payload...)
+	return nil
+}
+
+// grid builds n cells whose runner output is deterministic in the cell ID.
+func grid(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		id := fmt.Sprintf("c%03d", i)
+		cells[i] = Cell{ID: id, Key: store.Key([]byte("fleet-test|" + id)), Spec: json.RawMessage(`{}`)}
+	}
+	return cells
+}
+
+// echoRunner returns a payload derived from the cell ID, after an
+// optional delay per call.
+func echoRunner(delay time.Duration) Runner {
+	return func(ctx context.Context, cell Cell) ([]byte, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return []byte("result-of-" + cell.ID), nil
+	}
+}
+
+func baseOptions(t *testing.T, dir string, st Store, id string) Options {
+	t.Helper()
+	return Options{
+		Dir:      dir,
+		Store:    st,
+		Run:      echoRunner(0),
+		WorkerID: id,
+		LeaseTTL: 250 * time.Millisecond,
+	}
+}
+
+// TestCoordinatorInlineFallback: a coordinator with no workers attached
+// is plain inline execution — every cell completes, in one process, and
+// the stored payloads are the runner's bytes.
+func TestCoordinatorInlineFallback(t *testing.T) {
+	st := newTestStore()
+	cells := grid(5)
+	rep, err := Coordinator(context.Background(), baseOptions(t, t.TempDir(), st, "coord"), "", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 5 || rep.Failed() {
+		t.Fatalf("report = %+v, want 5 completed, no poison", rep)
+	}
+	for _, c := range cells {
+		if !st.Has(c.Key) {
+			t.Errorf("cell %s not stored", c.ID)
+		}
+	}
+	// Idempotent completion: a second coordinator over the same grid hits
+	// every cell without running anything.
+	rep2, err := Coordinator(context.Background(), baseOptions(t, t.TempDir(), st, "coord2"), "", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completed != 0 || rep2.Hits != 5 {
+		t.Fatalf("re-run report = %+v, want 0 completed / 5 hits", rep2)
+	}
+}
+
+// TestWorkStealingSharesTheGrid: a coordinator plus three workers split
+// one grid; every cell is stored, and no cell was run twice (leases held
+// by live workers are respected).
+func TestWorkStealingSharesTheGrid(t *testing.T) {
+	st := newTestStore()
+	cells := grid(12)
+	dir := t.TempDir()
+
+	var runs atomic.Int32
+	counting := func(ctx context.Context, cell Cell) ([]byte, error) {
+		runs.Add(1)
+		return echoRunner(5*time.Millisecond)(ctx, cell)
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]*Report, 4)
+	errs := make([]error, 4)
+	for w := 1; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := baseOptions(t, dir, st, fmt.Sprintf("w%d", w))
+			o.Run = counting
+			reports[w], errs[w] = Worker(context.Background(), o)
+		}(w)
+	}
+	o := baseOptions(t, dir, st, "coord")
+	o.Run = counting
+	reports[0], errs[0] = Coordinator(context.Background(), o, "", cells)
+	wg.Wait()
+
+	completed := 0
+	for i := range reports {
+		if errs[i] != nil {
+			t.Fatalf("participant %d: %v", i, errs[i])
+		}
+		if reports[i].Failed() {
+			t.Fatalf("participant %d reports poisons: %+v", i, reports[i].Poisoned)
+		}
+		completed += reports[i].Completed
+	}
+	if completed != 12 || int(runs.Load()) != 12 {
+		t.Fatalf("completed=%d runs=%d, want 12/12 (no duplicate execution)", completed, runs.Load())
+	}
+	for _, c := range cells {
+		if !st.Has(c.Key) {
+			t.Errorf("cell %s not stored", c.ID)
+		}
+	}
+}
+
+// TestExpiredLeaseIsStolen: a worker claims a cell and dies (its lease is
+// never renewed, its run never happens). The next participant must steal
+// the expired lease and complete the cell.
+func TestExpiredLeaseIsStolen(t *testing.T) {
+	st := newTestStore()
+	cells := grid(3)
+	dir := t.TempDir()
+
+	// The "dead worker": claim c001 by hand with an already-stale expiry.
+	dead := baseOptions(t, dir, st, "dead")
+	if ok, _ := dead.tryClaim("c001", -time.Second, time.Now()); !ok {
+		t.Fatal("dead worker failed to claim a free cell")
+	}
+
+	var steals atomic.Int32
+	o := baseOptions(t, dir, st, "live")
+	o.OnEvent = func(e Event) {
+		if e.Type == EventSteal {
+			steals.Add(1)
+		}
+	}
+	rep, err := Coordinator(context.Background(), o, "", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 || rep.Steals != 1 || steals.Load() != 1 {
+		t.Fatalf("report = %+v (steal events %d), want 3 completed / 1 steal", rep, steals.Load())
+	}
+	if !st.Has(cells[1].Key) {
+		t.Error("stolen cell never completed")
+	}
+}
+
+// TestLiveLeaseIsRespected: a cell claimed with a healthy lease must not
+// be stolen or re-run while the lease holder is alive and renewing.
+func TestLiveLeaseIsRespected(t *testing.T) {
+	st := newTestStore()
+	cells := grid(2)
+	dir := t.TempDir()
+
+	// A slow holder on c000: claims, runs long, renews properly.
+	holderDone := make(chan *Report, 1)
+	holder := baseOptions(t, dir, st, "holder")
+	holder.LeaseTTL = 300 * time.Millisecond
+	holder.Run = func(ctx context.Context, cell Cell) ([]byte, error) {
+		d := 10 * time.Millisecond
+		if cell.ID == "c000" {
+			d = 700 * time.Millisecond // several TTLs, kept alive by heartbeat
+		}
+		return echoRunner(d)(ctx, cell)
+	}
+	go func() {
+		rep, err := Coordinator(context.Background(), holder, "", cells)
+		if err != nil {
+			t.Error(err)
+		}
+		holderDone <- rep
+	}()
+
+	o := baseOptions(t, dir, st, "other")
+	o.LeaseTTL = 300 * time.Millisecond
+	var ran atomic.Int32
+	o.Run = func(ctx context.Context, cell Cell) ([]byte, error) {
+		ran.Add(1)
+		return echoRunner(0)(ctx, cell)
+	}
+	rep, err := Worker(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hrep := <-holderDone
+	if got := rep.Completed + hrep.Completed; got != 2 {
+		t.Fatalf("completed %d cells total, want 2", got)
+	}
+	if rep.Steals+hrep.Steals != 0 {
+		t.Fatalf("healthy lease was stolen: other=%+v holder=%+v", rep, hrep)
+	}
+}
+
+// TestStalledRenewalDuplicateIsAbsorbed: chaos stalls a runner's
+// heartbeat so its lease expires mid-run and the cell is stolen and
+// re-run. Both finishers Put; the store must hold the one deterministic
+// payload and the grid must complete cleanly.
+func TestStalledRenewalDuplicateIsAbsorbed(t *testing.T) {
+	st := newTestStore()
+	cells := grid(1)
+	dir := t.TempDir()
+
+	stalled := baseOptions(t, dir, st, "stalled")
+	stalled.LeaseTTL = 100 * time.Millisecond
+	stalled.Chaos = &Chaos{StallRenewals: true}
+	stalled.Run = echoRunner(400 * time.Millisecond) // outlives its own lease
+	stalledDone := make(chan error, 1)
+	go func() {
+		_, err := Coordinator(context.Background(), stalled, "", cells)
+		stalledDone <- err
+	}()
+
+	thief := baseOptions(t, dir, st, "thief")
+	thief.LeaseTTL = 100 * time.Millisecond
+	rep, err := Worker(context.Background(), thief)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-stalledDone; err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steals+rep.Completed+rep.Hits == 0 {
+		t.Fatalf("thief did nothing: %+v", rep)
+	}
+	if !st.Has(cells[0].Key) {
+		t.Fatal("cell not stored")
+	}
+	// Both executions stored the same bytes (puts may be 1 or 2 depending
+	// on timing; the entry is the runner's deterministic payload).
+	s := st
+	s.mu.Lock()
+	got := string(s.entries[cells[0].Key])
+	s.mu.Unlock()
+	if got != "result-of-c000" {
+		t.Fatalf("stored payload %q", got)
+	}
+}
+
+// TestPoisonCellQuarantine: a cell that fails every run is parked after
+// MaxAttempts with its last error, and the rest of the grid completes.
+func TestPoisonCellQuarantine(t *testing.T) {
+	st := newTestStore()
+	cells := grid(4)
+	o := baseOptions(t, t.TempDir(), st, "coord")
+	o.MaxAttempts = 2
+	o.Chaos = &Chaos{FailCell: "c002"}
+	var fails, poisons atomic.Int32
+	o.OnEvent = func(e Event) {
+		switch e.Type {
+		case EventFail:
+			fails.Add(1)
+		case EventPoison:
+			poisons.Add(1)
+		}
+	}
+	rep, err := Coordinator(context.Background(), o, "", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("completed %d healthy cells, want 3 (%+v)", rep.Completed, rep)
+	}
+	if len(rep.Poisoned) != 1 || rep.Poisoned[0].CellID != "c002" {
+		t.Fatalf("poisoned = %+v, want exactly c002", rep.Poisoned)
+	}
+	p := rep.Poisoned[0]
+	if p.Attempts != 2 || !strings.Contains(p.LastErr, "chaos-injected crash") {
+		t.Fatalf("poison record = %+v, want 2 attempts and the injected error", p)
+	}
+	if fails.Load() != 2 || poisons.Load() != 1 {
+		t.Fatalf("events: %d fails, %d poisons; want 2, 1", fails.Load(), poisons.Load())
+	}
+	if st.Has(cells[2].Key) {
+		t.Fatal("poisoned cell has a stored result")
+	}
+	// Every later participant reports the same quarantine set without
+	// re-running the poison cell.
+	o2 := baseOptions(t, o.Dir, st, "late")
+	o2.Chaos = &Chaos{FailCell: "c002"}
+	rep2, err := Worker(context.Background(), o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Poisoned) != 1 || rep2.Poisoned[0].CellID != "c002" || rep2.Completed != 0 {
+		t.Fatalf("late worker report = %+v", rep2)
+	}
+}
+
+// TestDeadClaimantsConsumeBudget: claims that never report back (workers
+// SIGKILLed mid-cell) still burn the retry budget, so a cell that kills
+// every claimant is quarantined with the no-error-recorded message
+// instead of livelocking the fleet.
+func TestDeadClaimantsConsumeBudget(t *testing.T) {
+	st := newTestStore()
+	cells := grid(2)
+	dir := t.TempDir()
+
+	// Simulate MaxAttempts kills: each "dead" claimant claims c000 with an
+	// expired lease and bumps the ledger, exactly the on-disk state a
+	// SIGKILLed worker leaves.
+	for i := 0; i < 3; i++ {
+		dead := baseOptions(t, dir, st, fmt.Sprintf("dead%d", i))
+		if ok, _ := dead.tryClaim("c000", -time.Second, time.Now()); !ok {
+			t.Fatalf("dead claimant %d could not claim", i)
+		}
+		dead.bumpAttempts("c000")
+	}
+
+	o := baseOptions(t, dir, st, "survivor")
+	o.MaxAttempts = 3
+	rep, err := Coordinator(context.Background(), o, "", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 {
+		t.Fatalf("healthy cell not completed: %+v", rep)
+	}
+	if len(rep.Poisoned) != 1 || rep.Poisoned[0].CellID != "c000" {
+		t.Fatalf("poisoned = %+v, want c000", rep.Poisoned)
+	}
+	if !strings.Contains(rep.Poisoned[0].LastErr, "worker died") {
+		t.Fatalf("poison error = %q, want the died-mid-cell message", rep.Poisoned[0].LastErr)
+	}
+}
+
+// TestInjectedPutErrorsRetry: the first two store writes fail; the cell
+// must retry under its budget and succeed on the third attempt.
+func TestInjectedPutErrorsRetry(t *testing.T) {
+	st := newTestStore()
+	cells := grid(1)
+	o := baseOptions(t, t.TempDir(), st, "coord")
+	o.MaxAttempts = 5
+	o.Chaos = &Chaos{FailPuts: 2}
+	var fails atomic.Int32
+	o.OnEvent = func(e Event) {
+		if e.Type == EventFail {
+			fails.Add(1)
+		}
+	}
+	rep, err := Coordinator(context.Background(), o, "", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 || rep.Failed() {
+		t.Fatalf("report = %+v, want a clean completion after retries", rep)
+	}
+	if fails.Load() != 2 {
+		t.Fatalf("%d failed attempts, want 2", fails.Load())
+	}
+	if !st.Has(cells[0].Key) {
+		t.Fatal("cell not stored after retries")
+	}
+}
+
+// TestWorkerCancellation: a cancelled worker returns promptly with
+// ctx.Err and releases its lease uncharged, so the cell retries
+// elsewhere without consuming quarantine budget.
+func TestWorkerCancellation(t *testing.T) {
+	st := newTestStore()
+	cells := grid(1)
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	o := baseOptions(t, dir, st, "cancelme")
+	started := make(chan struct{})
+	o.Run = func(ctx context.Context, cell Cell) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Coordinator(ctx, o, "", cells)
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled coordinator returned %v", err)
+	}
+
+	// The cell is free again (lease released) and uncharged.
+	o2 := baseOptions(t, dir, st, "after")
+	rec := o2.readAttempts("c000")
+	if rec.Count != 1 {
+		t.Fatalf("attempts after cancellation = %d, want 1 (the cancelled claim), with no failure charged", rec.Count)
+	}
+	rep, err := Worker(context.Background(), o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1 || rep.Failed() {
+		t.Fatalf("post-cancel report = %+v", rep)
+	}
+}
+
+// TestManifestVersionSkewRejected: a worker must refuse a manifest
+// written by a different protocol generation.
+func TestManifestVersionSkewRejected(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Version: "confluence-fleet-v999", Cells: grid(1)}
+	data, _ := json.Marshal(m)
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOptions(t, dir, newTestStore(), "w")
+	if _, err := Worker(context.Background(), o); err == nil || !strings.Contains(err.Error(), "speaks") {
+		t.Fatalf("version skew accepted: %v", err)
+	}
+}
+
+// TestWaitManifestJoinsLateCoordinator: a worker started before its
+// coordinator blocks on the manifest and then completes the grid.
+func TestWaitManifestJoinsLateCoordinator(t *testing.T) {
+	st := newTestStore()
+	cells := grid(2)
+	dir := t.TempDir()
+
+	done := make(chan error, 1)
+	go func() {
+		o := baseOptions(t, dir, st, "early")
+		_, err := Worker(context.Background(), o)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the worker start polling
+	if _, err := Coordinator(context.Background(), baseOptions(t, dir, st, "coord"), "", cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if !st.Has(c.Key) {
+			t.Errorf("cell %s not stored", c.ID)
+		}
+	}
+}
+
+// TestTornLeaseAgesOutByMtime: a lease file holding garbage (claimant
+// killed inside the create-then-write window) is reclaimable once older
+// than the TTL, and not before.
+func TestTornLeaseAgesOutByMtime(t *testing.T) {
+	dir := t.TempDir()
+	o := baseOptions(t, dir, newTestStore(), "w")
+	path := o.leasePath("c000")
+	if err := os.WriteFile(path, []byte("torn{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if leaseExpired(path, time.Minute, time.Now()) {
+		t.Fatal("fresh torn lease judged expired")
+	}
+	old := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if !leaseExpired(path, time.Minute, time.Now()) {
+		t.Fatal("aged torn lease not judged expired")
+	}
+}
+
+// TestManifestRejectsBadCellIDs: path-traversal or exotic IDs never make
+// it into a manifest.
+func TestManifestRejectsBadCellIDs(t *testing.T) {
+	for _, id := range []string{"", "a/b", "..", "c 0", strings.Repeat("x", 65)} {
+		m := Manifest{Version: ProtocolVersion, Cells: []Cell{{ID: id, Key: "k"}}}
+		if err := WriteManifest(t.TempDir(), m); err == nil {
+			t.Errorf("cell ID %q accepted", id)
+		}
+	}
+}
+
+func TestChaosFromEnvParsing(t *testing.T) {
+	type fields struct {
+		kill, puts int
+		stall      bool
+		cell       string
+	}
+	good := map[string]fields{
+		"kill-after-claims=2":                 {kill: 2},
+		"stall-renewals":                      {stall: true},
+		"fail-puts=3,fail-cell=c007":          {puts: 3, cell: "c007"},
+		" kill-after-claims=1 , fail-puts=1 ": {kill: 1, puts: 1},
+	}
+	for in, want := range good {
+		c, err := parseChaos(in)
+		if err != nil {
+			t.Errorf("parseChaos(%q): %v", in, err)
+			continue
+		}
+		got := fields{kill: c.KillAfterClaims, puts: c.FailPuts, stall: c.StallRenewals, cell: c.FailCell}
+		if got != want {
+			t.Errorf("parseChaos(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	if c, err := parseChaos(""); err != nil || c != nil {
+		t.Errorf("parseChaos(\"\") = %+v, %v; want nil, nil", c, err)
+	}
+	for _, in := range []string{"kill-after-claims", "kill-after-claims=0", "kill-after-claims=x",
+		"stall-renewals=1", "fail-puts=-1", "fail-cell=", "nonsense=1"} {
+		if _, err := parseChaos(in); err == nil {
+			t.Errorf("parseChaos(%q) accepted", in)
+		}
+	}
+}
+
+// TestRealStoreSatisfiesInterface pins that *store.Store is a fleet.Store
+// and that a real-directory fleet round-trips results through it.
+func TestRealStoreSatisfiesInterface(t *testing.T) {
+	st := store.Open(filepath.Join(t.TempDir(), "results"))
+	cells := grid(3)
+	rep, err := Coordinator(context.Background(), baseOptions(t, t.TempDir(), st, "coord"), st.Dir(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, c := range cells {
+		payload, ok := st.Get(c.Key)
+		if !ok || string(payload) != "result-of-"+c.ID {
+			t.Errorf("cell %s: stored %q (ok=%v)", c.ID, payload, ok)
+		}
+	}
+}
+
+// TestWorkerResolvesStoreFromManifest: a worker with no Options.Store
+// opens the store the manifest names and sees the completed grid.
+func TestWorkerResolvesStoreFromManifest(t *testing.T) {
+	st := store.Open(filepath.Join(t.TempDir(), "results"))
+	cells := grid(2)
+	dir := t.TempDir()
+	if _, err := Coordinator(context.Background(), baseOptions(t, dir, st, "coord"), st.Dir(), cells); err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Dir: dir, Run: echoRunner(0), WorkerID: "late"}
+	rep, err := Worker(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hits != 2 || rep.Completed != 0 {
+		t.Fatalf("late worker report = %+v, want 2 hits", rep)
+	}
+}

@@ -18,12 +18,15 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"confluence"
 	"confluence/internal/experiments"
+	"confluence/internal/fleet"
 	"confluence/internal/store"
 )
 
@@ -51,6 +54,15 @@ type Config struct {
 	// store with direct library runs on the same directory. Empty keeps
 	// results in memory only — the pre-store behavior exactly.
 	StoreDir string
+	// FleetDir, when non-empty (StoreDir required too), routes point and
+	// sweep jobs through a lease-based fleet coordinator rooted there:
+	// each job publishes its grid under FleetDir/job-<n> and any
+	// `confluence-sim -fleet-worker` processes pointed at that directory
+	// work cells alongside the daemon. With no workers attached the
+	// coordinator simply executes inline, so FleetDir is safe to set
+	// unconditionally. Results are byte-identical either way — the final
+	// output is always served from the store in canonical order.
+	FleetDir string
 	// Now overrides the quota clock (tests).
 	Now func() time.Time
 }
@@ -104,6 +116,20 @@ func New(cfg Config) *Server {
 		storeDir := cfg.StoreDir
 		s.execute = func(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
 			return ExecuteSpecStore(ctx, spec, storeDir, emit)
+		}
+		if cfg.FleetDir != "" {
+			// Each job coordinates in its own subdirectory: concurrent jobs
+			// must not share a manifest. The sequence number only needs to be
+			// unique within this process; a recycled directory from a dead
+			// daemon is harmless (the manifest is rewritten, stale leases
+			// expire, completion is judged by the store).
+			fleetDir := cfg.FleetDir
+			var fleetSeq atomic.Int64
+			s.execute = func(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+				o := fleet.Options{Dir: filepath.Join(fleetDir, fmt.Sprintf("job-%d", fleetSeq.Add(1)))}
+				res, _, err := ExecuteSpecFleet(ctx, spec, storeDir, o, emit)
+				return res, err
+			}
 		}
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -538,6 +564,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	// Reconnect support: a client that saw events through seq N resumes
+	// with ?after=N (or the standard Last-Event-ID header; the query wins
+	// when both are present). Seq numbers are dense from 1, so seq N is
+	// exactly the first N events — the cursor restarts there and the
+	// stream continues gaplessly, including for jobs already terminal
+	// (the remaining events replay, then the stream closes as usual).
+	cursor := 0
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "after must be a non-negative event seq")
+			return
+		}
+		cursor = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			cursor = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -549,11 +594,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	defer stopWake()
 
 	enc := json.NewEncoder(w)
-	cursor := 0
 	for ctx.Err() == nil {
 		evs, terminal := j.eventsSince(cursor, func() bool { return ctx.Err() != nil })
 		for _, e := range evs {
-			fmt.Fprintf(w, "event: %s\ndata: ", e.Type)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: ", e.Seq, e.Type)
 			enc.Encode(e) // Encode appends the newline SSE needs
 			fmt.Fprint(w, "\n")
 		}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"confluence"
+	"confluence/internal/experiments"
+)
+
+// steppedExecute installs an execute hook that emits `cells` progress
+// events, each gated on a receive from step, so tests control exactly
+// when the event stream advances.
+func steppedExecute(s *Server, cells int) chan<- struct{} {
+	step := make(chan struct{})
+	s.execute = func(ctx context.Context, spec *confluence.JobSpec, emit func(experiments.ProgressEvent)) (*Result, error) {
+		for i := 0; i < cells; i++ {
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			emit(experiments.ProgressEvent{Mix: fmt.Sprintf("m%d", i), Design: "Base1K"})
+		}
+		return &Result{Kind: spec.NormKind()}, nil
+	}
+	return step
+}
+
+// readSSE consumes the stream until upToSeq events have been seen (0 =
+// until the stream ends), returning the decoded events. It also checks
+// every data line is preceded by a matching SSE id line.
+func readSSE(t *testing.T, resp *http.Response, upToSeq int) []Event {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []Event
+	lastID := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			lastID = strings.TrimPrefix(line, "id: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		if want := fmt.Sprint(e.Seq); lastID != want {
+			t.Fatalf("event seq %d carried SSE id %q", e.Seq, lastID)
+		}
+		events = append(events, e)
+		if upToSeq > 0 && e.Seq >= upToSeq {
+			return events
+		}
+		if e.Type == "done" || e.Type == "failed" || e.Type == "cancelled" {
+			return events
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestSSEReconnectResume drops an SSE client mid-stream and reconnects
+// with ?after=<last seen seq>: the resumed stream must continue exactly
+// one past the cursor — no gap, no duplicate — through the terminal
+// event.
+func TestSSEReconnectResume(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	step := steppedExecute(s, 3)
+	sum := submitted(t, ts, tinySpec())
+
+	// First connection: queued, started, then one cell (seq 3), then drop.
+	resp, err := http.Get(ts.URL + "/jobs/" + sum.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	step <- struct{}{}
+	first := readSSE(t, resp, 3)
+	if len(first) != 3 || first[2].Type != "cell" || first[2].Seq != 3 {
+		t.Fatalf("first connection saw %+v, want queued/started/cell", first)
+	}
+
+	// The job finishes while no client is connected.
+	step <- struct{}{}
+	step <- struct{}{}
+	waitState(t, s, sum.ID, StateDone)
+
+	// Resume from the last seq the dropped client saw.
+	resp, err = http.Get(ts.URL + "/jobs/" + sum.ID + "/events?after=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := readSSE(t, resp, 0)
+	if len(rest) != 3 {
+		t.Fatalf("resumed stream had %d events (%+v), want cell/cell/done", len(rest), rest)
+	}
+	for i, e := range rest {
+		if e.Seq != 4+i {
+			t.Fatalf("resumed event %d has seq %d, want %d (gap or duplicate across reconnect)", i, e.Seq, 4+i)
+		}
+	}
+	if rest[0].Type != "cell" || rest[1].Type != "cell" || rest[2].Type != "done" {
+		t.Fatalf("resumed stream types: %+v", rest)
+	}
+	if rest[0].Cell == nil || rest[0].Cell.Mix != "m1" {
+		t.Fatalf("resumed first cell = %+v, want m1 (m0 was delivered pre-drop)", rest[0].Cell)
+	}
+}
+
+// TestSSEReconnectTerminalJob reconnects to an already-finished job: the
+// events past the cursor replay and the stream closes; a zero cursor
+// replays the whole history.
+func TestSSEReconnectTerminalJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	step := steppedExecute(s, 1)
+	sum := submitted(t, ts, tinySpec())
+	step <- struct{}{}
+	waitState(t, s, sum.ID, StateDone)
+	// History: queued(1), started(2), cell(3), done(4).
+
+	// Last-Event-ID is honored like ?after.
+	req, _ := http.NewRequest("GET", ts.URL+"/jobs/"+sum.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := readSSE(t, resp, 0)
+	if len(evs) != 2 || evs[0].Seq != 3 || evs[1].Type != "done" {
+		t.Fatalf("terminal reconnect from seq 2: %+v, want cell(3), done(4)", evs)
+	}
+
+	// Full replay from scratch.
+	resp, err = http.Get(ts.URL + "/jobs/" + sum.ID + "/events?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs = readSSE(t, resp, 0)
+	if len(evs) != 4 || evs[0].Type != "queued" || evs[3].Type != "done" {
+		t.Fatalf("full replay: %+v", evs)
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Fatalf("replay seq %d at index %d", e.Seq, i)
+		}
+	}
+
+	// A cursor past the end of a terminal job yields an empty, closed
+	// stream rather than a hang.
+	resp, err = http.Get(ts.URL + "/jobs/" + sum.ID + "/events?after=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs = readSSE(t, resp, 0); len(evs) != 0 {
+		t.Fatalf("past-the-end cursor replayed %+v", evs)
+	}
+}
+
+// TestSSEBadCursorRejected: a malformed ?after is a 400, not a silent
+// restart from zero (a client that thinks it resumed but got a replay
+// would double-count cells).
+func TestSSEBadCursorRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	blockUntil(s, release)
+	defer close(release)
+	sum := submitted(t, ts, tinySpec())
+	for _, q := range []string{"?after=-1", "?after=x", "?after=1.5"} {
+		resp, err := http.Get(ts.URL + "/jobs/" + sum.ID + "/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET events%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -32,8 +32,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -177,6 +179,19 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
+// Has reports whether a valid entry exists under key, without counting a
+// hit or touching the entry's LRU mtime. It is the completion probe the
+// fleet's work-stealing scan runs every pass: a coordinator polling N
+// cells must not inflate hit counters or perturb eviction order.
+func (s *Store) Has(key string) bool {
+	path, ok := s.entryPath(key)
+	if !ok {
+		return false
+	}
+	_, ok = readEntry(path)
+	return ok
+}
+
 // readEntry reads and validates one framed entry file.
 func readEntry(path string) ([]byte, bool) {
 	data, err := os.ReadFile(path)
@@ -276,8 +291,15 @@ func (s *Store) accountWrite(n int64) {
 
 // gcLocked rescans the directory and evicts least-recently-used entries
 // until total size fits the cap. Stale temp files from killed writers are
-// swept too. All removal errors are ignored — another process may be
-// GCing the same directory concurrently.
+// swept too.
+//
+// The sweep is written for shared directories: in a fleet, several
+// processes GC the same store concurrently, so every file this scan saw
+// can be gone by the time it acts. ENOENT anywhere — stat after ReadDir,
+// or the Remove itself — means another collector (or a corruption-as-miss
+// rewrite) got there first: the entry is already collected, its bytes are
+// already freed, and the sweep carries on. Only a file that demonstrably
+// still exists after a failed Remove keeps its bytes in the total.
 func (s *Store) gcLocked() {
 	type entry struct {
 		path  string
@@ -286,6 +308,8 @@ func (s *Store) gcLocked() {
 	}
 	dirents, err := os.ReadDir(s.dir)
 	if err != nil {
+		// Unreadable directory (never created, or racing a teardown):
+		// nothing to evict, nothing to account.
 		return
 	}
 	var entries []entry
@@ -295,7 +319,7 @@ func (s *Store) gcLocked() {
 		name := de.Name()
 		info, err := de.Info()
 		if err != nil {
-			continue
+			continue // deleted between ReadDir and stat: already collected
 		}
 		if strings.Contains(name, tmpSuffix) {
 			if now.Sub(info.ModTime()) > tmpMaxAge {
@@ -314,8 +338,9 @@ func (s *Store) gcLocked() {
 		if total <= s.maxBytes {
 			break
 		}
-		if os.Remove(e.path) == nil || !fileExists(e.path) {
-			total -= e.size
+		err := os.Remove(e.path)
+		if err == nil || errors.Is(err, fs.ErrNotExist) || !fileExists(e.path) {
+			total -= e.size // evicted by us or by a concurrent collector
 		}
 	}
 	s.size = total

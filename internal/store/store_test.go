@@ -249,3 +249,127 @@ func TestOpenSharesHandles(t *testing.T) {
 		t.Error("empty Dir()")
 	}
 }
+
+// TestHasDoesNotCountOrTouch pins the fleet's completion probe: Has sees
+// exactly what Get would, but moves no counters and no LRU clock.
+func TestHasDoesNotCountOrTouch(t *testing.T) {
+	s := testStore(t)
+	key := Key([]byte("has-probe"))
+	if s.Has(key) {
+		t.Fatal("Has hit before any Put")
+	}
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key) {
+		t.Fatal("Has missed a stored entry")
+	}
+	if s.Has("not-a-valid-key!") {
+		t.Fatal("Has accepted an invalid key")
+	}
+	// Corrupt the entry: Has must degrade to corruption-as-miss like Get.
+	path, _ := s.entryPath(key)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(key) {
+		t.Fatal("Has hit a corrupt entry")
+	}
+	hits, misses, _ := s.Counters()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("Has moved counters: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestGCConcurrentDeleter is the two-fleet-processes-GC-the-same-dir
+// regression: entries this sweep enumerated can vanish (another process's
+// eviction) before it stats or removes them. The sweep must treat ENOENT
+// as already-collected — subtract the bytes, keep going — and must leave
+// the store under its cap without wedging or panicking.
+func TestGCConcurrentDeleter(t *testing.T) {
+	s := testStore(t)
+	payload := bytes.Repeat([]byte("x"), 512)
+	var keys []string
+	for i := 0; i < 40; i++ {
+		k := Key([]byte(fmt.Sprintf("gc-race-%d", i)))
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	// A "concurrent collector": deletes entries behind this handle's back
+	// while Puts keep triggering the size-capped sweep.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i = (i + 1) % len(keys) {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			path, _ := s.entryPath(keys[i])
+			os.Remove(path)
+		}
+	}()
+	s.SetMaxBytes(4 * 1024)
+	for i := 0; i < 60; i++ {
+		k := Key([]byte(fmt.Sprintf("gc-race-w-%d", i)))
+		if err := s.Put(k, payload); err != nil {
+			t.Fatalf("Put under concurrent deletion: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// One more write forces a final sweep against whatever survived; the
+	// directory must end under the cap.
+	if err := s.Put(Key([]byte("gc-race-final")), payload); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	if total > 4*1024 {
+		t.Fatalf("store is %d bytes after concurrent-deleter GC, cap is %d", total, 4*1024)
+	}
+}
+
+// TestGCStaleSizeCacheRecovers pins the stale-cache path of the same
+// race: a sibling process evicts entries, leaving this handle's cached
+// size an overestimate. The next over-cap write rescans real sizes, so
+// the sweep must not evict more than the (already small) directory holds.
+func TestGCStaleSizeCacheRecovers(t *testing.T) {
+	s := testStore(t)
+	payload := bytes.Repeat([]byte("y"), 512)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(Key([]byte(fmt.Sprintf("stale-%d", i))), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sibling process evicts everything behind our back.
+	dirents, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range dirents {
+		os.Remove(filepath.Join(s.dir, de.Name()))
+	}
+	s.SetMaxBytes(2 * 1024)
+	k := Key([]byte("stale-after"))
+	if err := s.Put(k, payload); err != nil {
+		t.Fatalf("Put after sibling GC: %v", err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("fresh entry lost after stale-cache GC")
+	}
+}
