@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke store-smoke fleet-smoke fmt vet cover fuzz examples ci
+.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke store-smoke fleet-smoke fmt vet lint cover fuzz examples ci
 
 all: build test
 
@@ -100,6 +100,13 @@ fmt:
 vet:
 	go vet ./...
 
+# lint runs the confluence-lint determinism suite (maprange, wallclock,
+# seededrand, baregoroutine) over every package; see README "Static
+# analysis". Exit 1 means findings — fix them or justify each with a
+# //confluence:allow <analyzer> <reason> directive.
+lint:
+	go run ./cmd/confluence-lint ./...
+
 cover:
 	go test -coverprofile=cover.out ./...
 	@total=$$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
@@ -120,4 +127,4 @@ examples:
 
 # `cover` runs the full `go test ./...` suite itself, so ci does not also
 # depend on the plain `test` target (race is the only second full pass).
-ci: fmt vet build cover examples race bench fuzz serve-smoke store-smoke fleet-smoke
+ci: fmt vet lint build cover examples race bench fuzz serve-smoke store-smoke fleet-smoke

@@ -1,0 +1,104 @@
+// confluence-lint runs the determinism-contract analyzer suite
+// (maprange, wallclock, seededrand, baregoroutine — see internal/lint)
+// over the module, printing findings as file:line:col: analyzer:
+// message. It exits 0 on a clean tree, 1 when there are findings, and
+// 2 when the tree cannot be loaded (which includes packages that do
+// not compile and internal packages missing a sim/infra
+// classification aborting analysis early).
+//
+// Usage:
+//
+//	confluence-lint [-json] [-only maprange,wallclock] [packages]
+//
+// Packages default to ./... relative to the enclosing module root, so
+// the tool runs identically from any directory in the repo.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"confluence/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for CI artifacts)")
+	only := flag.String("only", "", "comma-separated analyzer subset to report (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: confluence-lint [-json] [-only names] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Check(pkgs)
+	if sub := subset(*only); sub != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			// Directive and classification errors are structural and
+			// always reported; -only narrows analyzer findings.
+			if sub[d.Analyzer] || d.Analyzer == "directive" || d.Analyzer == "classify" {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "confluence-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// subset parses the -only flag into a name set (nil means everything).
+func subset(s string) map[string]bool {
+	if s == "" {
+		return nil
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confluence-lint:", err)
+	os.Exit(2)
+}

@@ -1,7 +1,7 @@
 package backoff
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"time"
 )
@@ -21,8 +21,8 @@ func TestDelayGrowsAndCaps(t *testing.T) {
 
 func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
 	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
-	a := rand.New(rand.NewSource(42))
-	b := rand.New(rand.NewSource(42))
+	a := rand.New(rand.NewPCG(42, 0))
+	b := rand.New(rand.NewPCG(42, 0))
 	for attempt := 0; attempt < 8; attempt++ {
 		got := p.Delay(attempt, a)
 		unjittered := p.Delay(attempt, nil)
@@ -44,7 +44,7 @@ func TestDelayDegenerateFieldsFallBack(t *testing.T) {
 		t.Errorf("zero policy (Factor<1) Delay(5) = %v, want constant %v", got, Default.Base)
 	}
 	over := Policy{Base: time.Millisecond, Factor: 2, Jitter: 3}
-	if got := over.Delay(0, rand.New(rand.NewSource(1))); got < 0 || got > time.Millisecond {
+	if got := over.Delay(0, rand.New(rand.NewPCG(1, 0))); got < 0 || got > time.Millisecond {
 		t.Errorf("Jitter>1 Delay = %v outside [0, base]", got)
 	}
 }

@@ -1,0 +1,41 @@
+package cliutil
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestInterruptContextCancelsOnSIGINT pins the seam the linter exempts:
+// the one goroutine cliutil owns exists to turn the first SIGINT into a
+// context cancellation and then restore the default disposition.
+func TestInterruptContextCancelsOnSIGINT(t *testing.T) {
+	ctx, stop := InterruptContext()
+	defer stop()
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by SIGINT")
+	}
+}
+
+// TestInterruptContextStop pins that the stop function cancels the
+// context without any signal and is safe to call more than once (the
+// internal goroutine also calls it when the context ends).
+func TestInterruptContextStop(t *testing.T) {
+	ctx, stop := InterruptContext()
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+	stop() // idempotent
+}

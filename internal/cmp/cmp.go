@@ -391,6 +391,7 @@ func (e *engine) startPool(job func(core int)) *pool {
 	}
 	p := &pool{jobs: make(chan int, n), done: make(chan struct{}, n)}
 	for i := 0; i < w; i++ {
+		//confluence:allow baregoroutine the epoch engine's bound phase: per-core op logs are applied at the weave barrier in canonical core order, so results are independent of goroutine scheduling
 		go func() {
 			for c := range p.jobs {
 				job(c)

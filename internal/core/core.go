@@ -95,12 +95,15 @@ func (d DesignPoint) String() string {
 // DesignByName resolves a design point from its String form (the names
 // used in tables, golden files, and serialized job specs).
 func DesignByName(name string) (DesignPoint, bool) {
-	for d, n := range designNames {
+	for d := Base1K; ; d++ {
+		n, ok := designNames[d]
+		if !ok {
+			return 0, false
+		}
 		if n == name {
 			return d, true
 		}
 	}
-	return 0, false
 }
 
 // DesignNames lists every design point's name in design-point order — the

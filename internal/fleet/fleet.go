@@ -123,6 +123,10 @@ type Options struct {
 	Backoff backoff.Policy
 	// Chaos injects faults; nil injects nothing.
 	Chaos *Chaos
+	// Now is the clock lease deadlines and expiry judgments read; nil
+	// means time.Now. Tests inject a fake clock to exercise expiry
+	// without sleeping.
+	Now func() time.Time
 	// OnEvent observes protocol transitions (claims, steals, poisons).
 	// Called from the participant's own goroutine, in order.
 	OnEvent func(Event)

@@ -586,3 +586,48 @@ func TestWorkerResolvesStoreFromManifest(t *testing.T) {
 		t.Fatalf("late worker report = %+v, want 2 hits", rep)
 	}
 }
+
+// TestInjectedClockStampsLeaseDeadline pins the Options.Now seam the
+// wallclock linter demands: the lease written for a claim carries a
+// deadline derived from the injected clock, not the machine's, so
+// expiry-based stealing is testable without sleeping.
+func TestInjectedClockStampsLeaseDeadline(t *testing.T) {
+	dir := t.TempDir()
+	fake := time.Date(2031, 2, 3, 4, 5, 6, 0, time.UTC)
+	st := newTestStore()
+	var sawDeadline int64
+	o := &Options{
+		Dir:         dir,
+		WorkerID:    "w-clock",
+		LeaseTTL:    time.Minute,
+		Heartbeat:   time.Hour, // no renewal during this test
+		MaxAttempts: 3,
+		Now:         func() time.Time { return fake },
+		Store:       st,
+		Run: func(ctx context.Context, cell Cell) ([]byte, error) {
+			// Mid-run the lease file must exist; record its deadline.
+			data, err := os.ReadFile(filepath.Join(dir, cell.ID+leaseSuffix))
+			if err != nil {
+				return nil, err
+			}
+			var l lease
+			if err := json.Unmarshal(data, &l); err != nil {
+				return nil, err
+			}
+			sawDeadline = l.Expires
+			return []byte("ok"), nil
+		},
+	}
+	cell := grid(1)[0]
+	rep := &Report{}
+	if got := o.workCell(context.Background(), st, cell, rep); got != cellResolved {
+		t.Fatalf("workCell = %v, want cellResolved", got)
+	}
+	want := fake.Add(time.Minute).UnixNano()
+	if sawDeadline != want {
+		t.Errorf("lease deadline %d, want injected-clock deadline %d (%v)", sawDeadline, want, fake.Add(time.Minute))
+	}
+	if rep.Completed != 1 {
+		t.Errorf("Completed = %d, want 1", rep.Completed)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
+	"math/rand/v2"
 	"time"
 
 	"confluence/internal/backoff"
@@ -105,6 +105,9 @@ func participate(ctx context.Context, o Options, m Manifest) (*Report, error) {
 	if o.Backoff == (backoff.Policy{}) {
 		o.Backoff = defaultIdleBackoff
 	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	if len(m.Cells) == 0 {
 		return nil, fmt.Errorf("fleet: manifest in %s describes an empty grid", o.Dir)
 	}
@@ -117,7 +120,7 @@ func participate(ctx context.Context, o Options, m Manifest) (*Report, error) {
 	// so a test fleet with fixed IDs replays identically.
 	h := fnv.New64a()
 	h.Write([]byte(o.WorkerID))
-	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng := rand.New(rand.NewPCG(h.Sum64(), 0xf1ee7))
 	offset := int(h.Sum64() % uint64(len(m.Cells)))
 
 	rep := &Report{}
@@ -189,8 +192,7 @@ func (o *Options) workCell(ctx context.Context, st Store, cell Cell, rep *Report
 	if _, poisoned := o.readPoison(cell.ID); poisoned {
 		return cellResolved
 	}
-	now := time.Now()
-	claimed, stole := o.tryClaim(cell.ID, o.LeaseTTL, now)
+	claimed, stole := o.tryClaim(cell.ID, o.LeaseTTL, o.Now())
 	if !claimed {
 		return cellBlocked
 	}
@@ -271,7 +273,7 @@ func (o *Options) runLeased(ctx context.Context, st Store, cell Cell) error {
 				if o.Chaos.stallRenewals() {
 					continue
 				}
-				if !o.renew(cell.ID, o.LeaseTTL, time.Now()) {
+				if !o.renew(cell.ID, o.LeaseTTL, o.Now()) {
 					return // lease lost; keep running, stop renewing
 				}
 			}

@@ -1,0 +1,128 @@
+// Package lint enforces the repository's determinism contract at build
+// time: four static analyzers (maprange, wallclock, seededrand,
+// baregoroutine) keyed off a single explicit classification of every
+// package as either "simulation" (its code can influence simulated
+// stats, so nondeterminism sources are banned outright) or
+// "infrastructure" (serving, storage, fleet coordination — wall-clock
+// reads must flow through an injectable seam, randomness must be
+// seeded, but timers and goroutines are its business).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) so it can be swapped onto the
+// real multichecker/unitchecker when the build environment allows the
+// dependency; this repository builds hermetically from the standard
+// library alone, so loading is done with `go list -export` plus
+// go/types instead of go/packages.
+package lint
+
+import (
+	"slices"
+	"strings"
+)
+
+// Class is the determinism classification of a package.
+type Class int
+
+const (
+	// Unclassified marks a package the tables do not know; the driver
+	// reports it as an error, so adding a new internal package forces an
+	// explicit classification decision.
+	Unclassified Class = iota
+	// Sim packages compute (or sit on the data path of) simulated
+	// stats. The contract: no map-iteration order, wall-clock time,
+	// unseeded randomness, or bare goroutines may reach results.
+	Sim
+	// Infra packages surround the simulator (serving, storage, fleet,
+	// CLIs). Wall-clock reads must be injectable; randomness must still
+	// be seeded; scheduling primitives are allowed.
+	Infra
+)
+
+func (c Class) String() string {
+	switch c {
+	case Sim:
+		return "sim"
+	case Infra:
+		return "infra"
+	default:
+		return "unclassified"
+	}
+}
+
+// SimPackages lists every internal package whose code can reach
+// simulated stats. The zero tolerance bans of the analyzers apply here.
+var SimPackages = []string{
+	"airbtb",
+	"bpu",
+	"btb",
+	"cache",
+	"cmp",
+	"core",
+	"experiments",
+	"fdp",
+	"flatmap",
+	"frontend",
+	"isa",
+	"mem",
+	"noc",
+	"phantom",
+	"prefetch",
+	"shift",
+	"stats",
+	"synth",
+	"trace",
+}
+
+// InfraPackages lists every internal package that surrounds the
+// simulator without computing stats: the relaxed (injectable-clock)
+// analyzer rules apply here.
+var InfraPackages = []string{
+	"area",
+	"backoff",
+	"cliutil",
+	"fleet",
+	"lint",
+	"parallel",
+	"program",
+	"serve",
+	"store",
+}
+
+// ModulePath is the import-path prefix of the repository's module.
+const ModulePath = "confluence"
+
+// classifyInternal resolves the class of "internal/<name>" packages.
+func classifyInternal(name string) Class {
+	if slices.Contains(SimPackages, name) {
+		return Sim
+	}
+	if slices.Contains(InfraPackages, name) {
+		return Infra
+	}
+	return Unclassified
+}
+
+// Classify maps an import path to its determinism class. The root
+// package (the public Run/Config API, which assembles systems and
+// renders results) counts as simulation; commands and examples are
+// infrastructure; internal packages come from the two tables. A package
+// under internal/ missing from both tables is Unclassified, which the
+// driver turns into a hard lint error: new packages must be classified
+// before they pass `make lint`.
+func Classify(importPath string) Class {
+	switch {
+	case importPath == ModulePath:
+		return Sim
+	case strings.HasPrefix(importPath, ModulePath+"/cmd/"),
+		strings.HasPrefix(importPath, ModulePath+"/examples/"):
+		return Infra
+	case strings.HasPrefix(importPath, ModulePath+"/internal/"):
+		name := strings.TrimPrefix(importPath, ModulePath+"/internal/")
+		// Nested packages inherit their top-level internal package's
+		// class (internal/foo/bar classifies as internal/foo).
+		name, _, _ = strings.Cut(name, "/")
+		return classifyInternal(name)
+	default:
+		return Unclassified
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		path string
+		want Class
+	}{
+		{"confluence", Sim},
+		{"confluence/internal/cache", Sim},
+		{"confluence/internal/trace", Sim},
+		{"confluence/internal/serve", Infra},
+		{"confluence/internal/lint", Infra},
+		{"confluence/internal/cache/sub", Sim}, // nested inherits
+		{"confluence/cmd/confluence-sim", Infra},
+		{"confluence/examples/quickstart", Infra},
+		{"confluence/internal/brandnew", Unclassified},
+		{"github.com/other/module", Unclassified},
+	}
+	for _, c := range cases {
+		if got := Classify(c.path); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestClassificationComplete walks internal/ on disk: every package
+// there must appear in exactly one of the sim/infra tables, and every
+// table entry must still exist. A newly added internal package without
+// a classification therefore fails `go test ./...`, not just `make
+// lint` — the contract's front door cannot be skipped by skipping the
+// linter.
+func TestClassificationComplete(t *testing.T) {
+	internalDir := ".." // this package lives at internal/lint
+	entries, err := os.ReadDir(internalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		hasGo := false
+		sub, err := os.ReadDir(filepath.Join(internalDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range sub {
+			if strings.HasSuffix(f.Name(), ".go") && !strings.HasSuffix(f.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if hasGo {
+			onDisk = append(onDisk, e.Name())
+		}
+	}
+	if len(onDisk) == 0 {
+		t.Fatal("found no internal packages; is the test running from internal/lint?")
+	}
+
+	for _, name := range onDisk {
+		inSim := slices.Contains(SimPackages, name)
+		inInfra := slices.Contains(InfraPackages, name)
+		switch {
+		case inSim && inInfra:
+			t.Errorf("internal/%s is classified as BOTH sim and infra", name)
+		case !inSim && !inInfra:
+			t.Errorf("internal/%s is unclassified: add it to SimPackages or InfraPackages in internal/lint/classify.go", name)
+		}
+	}
+	for _, name := range SimPackages {
+		if !slices.Contains(onDisk, name) {
+			t.Errorf("SimPackages lists internal/%s, which no longer exists", name)
+		}
+	}
+	for _, name := range InfraPackages {
+		if !slices.Contains(onDisk, name) {
+			t.Errorf("InfraPackages lists internal/%s, which no longer exists", name)
+		}
+	}
+	if !slices.IsSorted(SimPackages) || !slices.IsSorted(InfraPackages) {
+		t.Error("keep SimPackages and InfraPackages sorted; the tables are documentation")
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CheckDir type-checks every non-test .go file in dir as one package of
+// the given class and runs the analyzer suite over it. It is the
+// analysistest-style entry point for fixture packages under testdata
+// (which `go list ./...` deliberately cannot see), and for seeding
+// synthetic violations into temp dirs: the determinism contract's own
+// tests are written against it.
+//
+// Fixture packages may import the standard library only; imports are
+// resolved from export data the go tool is asked to produce on demand.
+func CheckDir(dir string, class Class) ([]Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	exports, err := stdlibExports()
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := typeCheck(fset, exportImporter(fset, exports), "fixture", dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Class = class
+	return checkPackage(pkg), nil
+}
+
+var stdlibExportsOnce struct {
+	sync.Once
+	exports map[string]string
+	err     error
+}
+
+// stdlibExports produces (once per process) export data for the whole
+// standard library, the import universe fixture packages draw from.
+// Listing "std" is a build-cache no-op when the library is already
+// compiled, which `go build ./...` guarantees in this repo.
+func stdlibExports() (map[string]string, error) {
+	o := &stdlibExportsOnce
+	o.Do(func() {
+		root, err := ModuleRoot(".")
+		if err != nil {
+			// Outside a module (unlikely): stdlib patterns still list.
+			root = "."
+		}
+		listed, err := goList(root, []string{"std"})
+		if err != nil {
+			o.err = err
+			return
+		}
+		o.exports = make(map[string]string, len(listed))
+		for _, p := range listed {
+			if p.Export != "" {
+				o.exports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return o.exports, o.err
+}
+
+// WriteFixture materializes file contents into dir, for tests that
+// seed synthetic violations next to copied fixture sources.
+func WriteFixture(dir string, files map[string]string) error {
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one determinism check. The shape deliberately matches
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate onto
+// the real multichecker without rewriting the checks.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Class     Class
+
+	pkgPath string
+	allows  allowIndex
+	report  func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf emits a finding at pos unless a //confluence:allow directive
+// for this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers is the full determinism suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, SeededRand, BareGoroutine}
+}
+
+// analyzerNames is the set of names a directive may suppress.
+func analyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// AllowPrefix introduces a suppression directive comment:
+//
+//	//confluence:allow <analyzer> <reason>
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory: a directive without one is itself a lint error,
+// so every suppression in the tree documents why the contract holds
+// anyway.
+const AllowPrefix = "//confluence:allow"
+
+// allowDirective is one parsed //confluence:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// allowIndex maps file -> line -> analyzers allowed on that line.
+type allowIndex map[string]map[int]map[string]bool
+
+// covers reports whether the directive index suppresses analyzer
+// findings at position. A directive covers its own line (trailing
+// comment) and the line below it (preceding-line comment).
+func (ai allowIndex) covers(analyzer string, pos token.Position) bool {
+	lines := ai[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// parseAllows scans every comment in files for //confluence:allow
+// directives. Malformed directives — a missing analyzer, an analyzer
+// name the suite does not know, or an empty reason — are reported as
+// findings of the synthetic "directive" analyzer rather than silently
+// failing open or closed.
+func parseAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) allowIndex {
+	known := analyzerNames()
+	idx := make(allowIndex)
+	bad := func(pos token.Position, format string, args ...any) {
+		report(Diagnostic{Pos: pos, Analyzer: "directive", Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //confluence:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(pos, "confluence:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad(pos, "confluence:allow names unknown analyzer %q (have %s)", name, strings.Join(sortedNames(known), ", "))
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					bad(pos, "confluence:allow %s is missing its reason; an empty reason is a lint error", name)
+					continue
+				}
+				file := pos.Filename
+				if idx[file] == nil {
+					idx[file] = make(map[int]map[string]bool)
+				}
+				if idx[file][pos.Line] == nil {
+					idx[file][pos.Line] = make(map[string]bool)
+				}
+				idx[file][pos.Line][name] = true
+			}
+		}
+	}
+	return idx
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkPackage runs the whole suite over one type-checked package and
+// returns its findings sorted by position. An Unclassified package
+// yields a single classification error instead of analyzer findings:
+// classification is the contract's front door, so an unclassified
+// package must not half-pass.
+func checkPackage(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	if pkg.Class == Unclassified {
+		pos := token.Position{Filename: pkg.Dir}
+		if len(pkg.Files) > 0 {
+			pos = pkg.Fset.Position(pkg.Files[0].Package)
+		}
+		report(Diagnostic{Pos: pos, Analyzer: "classify", Message: fmt.Sprintf(
+			"package %s is not classified as sim or infra; add it to SimPackages or InfraPackages in internal/lint/classify.go", pkg.ImportPath)})
+		return diags
+	}
+	allows := parseAllows(pkg.Fset, pkg.Files, report)
+	for _, a := range Analyzers() {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Class:     pkg.Class,
+			pkgPath:   pkg.ImportPath,
+			allows:    allows,
+			report:    report,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Check runs the suite over every package and returns all findings.
+func Check(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, checkPackage(pkg)...)
+	}
+	return diags
+}

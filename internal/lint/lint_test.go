@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation list from a `// want "re" ["re"...]`
+// trailing comment, analysistest-style.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants scans dir's fixture sources for want comments, returning
+// file-base-name:line -> expectation regexps.
+func parseWants(t *testing.T, dir string) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), line)
+			for _, q := range quotedRe.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+				}
+				wants[key] = append(wants[key], regexp.MustCompile(pat))
+			}
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// checkFixture runs the suite over a fixture dir and matches findings
+// against its want comments: every finding must be expected on its
+// line, and every expectation must be matched by a finding.
+func checkFixture(t *testing.T, dir string, class Class) {
+	t.Helper()
+	diags, err := CheckDir(dir, class)
+	if err != nil {
+		t.Fatalf("CheckDir(%s): %v", dir, err)
+	}
+	wants := parseWants(t, dir)
+	matched := make(map[string][]bool)
+	for key, res := range wants {
+		matched[key] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		text := d.Analyzer + ": " + d.Message
+		ok := false
+		for i, re := range wants[key] {
+			if re.MatchString(text) {
+				matched[key][i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding: %s", key, text)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !matched[key][i] {
+				t.Errorf("%s: expected finding matching %q, got none", key, re)
+			}
+		}
+	}
+}
+
+func TestMapRangeFixture(t *testing.T)      { checkFixture(t, "testdata/maprange", Sim) }
+func TestWallClockSimFixture(t *testing.T)  { checkFixture(t, "testdata/wallclock_sim", Sim) }
+func TestWallClockInfra(t *testing.T)       { checkFixture(t, "testdata/wallclock_infra", Infra) }
+func TestSeededRandFixture(t *testing.T)    { checkFixture(t, "testdata/seededrand", Infra) }
+func TestSeededRandSimFixture(t *testing.T) { checkFixture(t, "testdata/seededrand_sim", Sim) }
+func TestBareGoroutineSim(t *testing.T)     { checkFixture(t, "testdata/baregoroutine_sim", Sim) }
+func TestBareGoroutineInfra(t *testing.T)   { checkFixture(t, "testdata/baregoroutine_infra", Infra) }
+
+// TestMapRangeClassGate pins that the maprange ban is keyed off the
+// classification: the same sources are clean when classified infra.
+func TestMapRangeClassGate(t *testing.T) {
+	diags, err := CheckDir("testdata/maprange", Infra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("maprange fixture under infra class: want clean, got %v", diags)
+	}
+}
+
+// TestDirectiveFixture exercises the directive parser's failure modes.
+// Expectations are asserted in code because a directive is itself a
+// full-line comment, so a trailing want marker would change its text.
+func TestDirectiveFixture(t *testing.T) {
+	diags, err := CheckDir("testdata/directive", Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var directive, wallclock []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive = append(directive, d)
+		case "wallclock":
+			wallclock = append(wallclock, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(directive) != 2 {
+		t.Fatalf("want 2 directive errors (empty reason, unknown analyzer), got %d: %v", len(directive), directive)
+	}
+	if !strings.Contains(directive[0].Message, "missing its reason") {
+		t.Errorf("first directive error = %q, want missing-reason", directive[0].Message)
+	}
+	if !strings.Contains(directive[1].Message, `unknown analyzer "wallcheck"`) {
+		t.Errorf("second directive error = %q, want unknown-analyzer", directive[1].Message)
+	}
+	// missingReason, unknownAnalyzer, outOfRange, and wrongAnalyzer all
+	// still report their violation (malformed or misplaced directives
+	// fail closed); only covered() is suppressed.
+	if len(wallclock) != 4 {
+		t.Errorf("want 4 unsuppressed wallclock findings, got %d: %v", len(wallclock), wallclock)
+	}
+}
+
+// TestSeededViolation is the contract's own regression test: injecting
+// a map range into a (copy of a) clean sim fixture package must fail
+// lint.
+func TestSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	clean := `package fixture
+
+import "sort"
+
+func extraction(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`
+	if err := WriteFixture(dir, map[string]string{"clean.go": clean}); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckDir(dir, Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean fixture: want no findings, got %v", diags)
+	}
+
+	violation := `package fixture
+
+func leak(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v*len(m) - v
+	}
+	return sum
+}
+`
+	if err := WriteFixture(dir, map[string]string{"leak.go": violation}); err != nil {
+		t.Fatal(err)
+	}
+	diags, err = CheckDir(dir, Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "maprange" {
+		t.Fatalf("seeded map range: want exactly one maprange finding, got %v", diags)
+	}
+	if base := filepath.Base(diags[0].Pos.Filename); base != "leak.go" || diags[0].Pos.Line != 5 {
+		t.Errorf("finding at %s:%d, want leak.go:5", base, diags[0].Pos.Line)
+	}
+}
+
+// TestUnclassifiedPackage pins the classification-completeness error
+// path: an unclassifiable package yields the classify diagnostic and no
+// analyzer findings.
+func TestUnclassifiedPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := `package mystery
+
+import "time"
+
+func Leak() time.Time { return time.Now() }
+`
+	if err := WriteFixture(dir, map[string]string{"mystery.go": src}); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckDir(dir, Unclassified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "classify" {
+		t.Fatalf("want exactly the classify error (and no analyzer findings), got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "SimPackages or InfraPackages") {
+		t.Errorf("classify message %q should point at the classification tables", diags[0].Message)
+	}
+}
+
+// TestRepoLintClean runs the full suite over the real module: the tree
+// as committed must be clean, which makes the determinism contract a
+// `go test ./...` invariant, not just a `make lint` one.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range Check(pkgs) {
+		t.Errorf("lint: %s", d)
+	}
+}

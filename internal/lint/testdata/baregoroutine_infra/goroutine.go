@@ -1,0 +1,7 @@
+// Package fixture exercises the baregoroutine analyzer under the infra
+// class, where goroutines are ordinary scheduling and never flagged.
+package fixture
+
+func unflagged(ch chan int) {
+	go func() { ch <- 1 }()
+}

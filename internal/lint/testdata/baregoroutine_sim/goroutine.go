@@ -1,0 +1,13 @@
+// Package fixture exercises the baregoroutine analyzer under the sim
+// class: bare go statements are banned; a justified directive admits
+// the exceptional engine.
+package fixture
+
+func flagged(ch chan int) {
+	go func() { ch <- 1 }() // want "baregoroutine: bare go statement in a simulation package"
+}
+
+func allowed(ch chan int) {
+	//confluence:allow baregoroutine fixture: results drained in deterministic caller order
+	go func() { ch <- 2 }()
+}

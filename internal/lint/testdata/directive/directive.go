@@ -1,0 +1,35 @@
+// Package fixture exercises the //confluence:allow directive parser:
+// an empty reason and an unknown analyzer are lint errors in their own
+// right, a directive only covers its own line and the next, and a
+// well-formed directive suppresses exactly its named analyzer.
+package fixture
+
+import "time"
+
+var when time.Time
+
+//confluence:allow wallclock
+func missingReason() {
+	when = time.Now()
+}
+
+//confluence:allow wallcheck a typo must fail closed, loudly
+func unknownAnalyzer() {
+	when = time.Now()
+}
+
+//confluence:allow wallclock fixture: two lines above the violation, so it does not cover it
+
+func outOfRange() {
+	when = time.Now()
+}
+
+func covered() {
+	//confluence:allow wallclock fixture: a proper directive suppresses its analyzer
+	when = time.Now()
+}
+
+func wrongAnalyzer() {
+	//confluence:allow baregoroutine fixture: names a different analyzer, so wallclock still fires
+	when = time.Now()
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises the maprange analyzer under the sim class:
+// one flagged range, the allowed sorted-key extraction idiom, and a
+// directive-suppressed range.
+package fixture
+
+import "sort"
+
+var sink int
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "maprange: range over map\\[string\\]int"
+		total += v
+	}
+	return total
+}
+
+func flaggedNamedType(m counters) {
+	for k := range m { // want "maprange: range over"
+		sink += len(k)
+	}
+}
+
+type counters map[string]int
+
+// extraction is the allowed idiom: the loop body only appends, and the
+// caller fixes the order with a sort before anything observable.
+func extraction(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowed(m map[string]int) {
+	//confluence:allow maprange fixture: order-insensitive accumulation into a commutative sum
+	for _, v := range m {
+		sink += v
+	}
+}
+
+// slices and channels range freely; only maps are order-hostile.
+func notAMap(s []int, ch chan int) {
+	for _, v := range s {
+		sink += v
+	}
+	for v := range ch {
+		sink += v
+	}
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the seededrand analyzer under the infra
+// class: process-global generators and time-derived seeds are banned
+// everywhere; explicitly seeded generators are fine.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func flaggedGlobalV2() int {
+	return randv2.IntN(10) // want "seededrand: rand.IntN uses the process-global generator"
+}
+
+func flaggedGlobalV1() float64 {
+	return rand.Float64() // want "seededrand: rand.Float64 uses the process-global generator"
+}
+
+func flaggedSeed() {
+	rand.Seed(42) // want "seededrand: rand.Seed uses the process-global generator"
+}
+
+func flaggedTimeSeeded() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "seededrand: time-seeded rand.NewSource" "wallclock: direct time.Now call"
+}
+
+// Explicit seeds through explicit generators are the contract.
+func seeded(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, 0x5eed))
+}
+
+func seededV1(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func allowed() int {
+	//confluence:allow seededrand fixture: jitter for a log sampling decision, stats-invisible
+	return randv2.IntN(3)
+}

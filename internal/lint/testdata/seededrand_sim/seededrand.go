@@ -1,0 +1,17 @@
+// Package fixture exercises the seededrand analyzer's sim-only rule:
+// math/rand v1 is banned outright in simulation packages (the house
+// generator is rand/v2's PCG with explicit profile seeds).
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func flaggedV1(seed int64) *rand.Rand { // want "seededrand: math/rand \\(v1\\) in a simulation package"
+	return rand.New(rand.NewSource(seed)) // want "seededrand: math/rand \\(v1\\) in a simulation package"
+}
+
+func seeded(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, 0x5eed))
+}

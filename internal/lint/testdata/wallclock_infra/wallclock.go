@@ -1,0 +1,42 @@
+// Package fixture exercises the wallclock analyzer under the infra
+// class: waiting is legal, reading must flow through an injectable
+// seam, and wiring time.Now in as the seam's default is the sanctioned
+// way to build one.
+package fixture
+
+import "time"
+
+type table struct {
+	now func() time.Time
+}
+
+// newTable builds the house injectable-clock seam: the bare time.Now
+// reference (a value, not a call) is legal.
+func newTable(now func() time.Time) *table {
+	if now == nil {
+		now = time.Now
+	}
+	return &table{now: now}
+}
+
+func (t *table) stamp() time.Time { return t.now() }
+
+func flagged() time.Time {
+	return time.Now() // want "wallclock: direct time.Now call in an infra package"
+}
+
+func flaggedSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wallclock: direct time.Since call in an infra package"
+}
+
+// Waiters are scheduling, not data: legal in infra.
+func waiting() {
+	time.Sleep(time.Millisecond)
+	t := time.NewTimer(time.Millisecond)
+	t.Stop()
+}
+
+func allowed() time.Time {
+	//confluence:allow wallclock fixture: best-effort log timestamp, never persisted
+	return time.Now()
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the wallclock analyzer under the sim class,
+// where readers and waiters are both banned and even a bare reference
+// to time.Now is a contract breach.
+package fixture
+
+import "time"
+
+var when time.Time
+
+func flaggedReads() {
+	when = time.Now()                // want "wallclock: time.Now in a simulation package"
+	_ = time.Since(when)             // want "wallclock: time.Since in a simulation package"
+	time.Sleep(time.Millisecond)     // want "wallclock: time.Sleep in a simulation package"
+	_ = time.After(time.Millisecond) // want "wallclock: time.After in a simulation package"
+}
+
+var clock = time.Now // want "wallclock: time.Now referenced in a simulation package"
+
+func allowed() {
+	//confluence:allow wallclock fixture: simulated-time epoch boundary logging only
+	when = time.Now()
+}
+
+// Duration arithmetic and formatting are not clock reads.
+func fine(d time.Duration) string {
+	return (d * 2).String()
+}

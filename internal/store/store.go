@@ -75,6 +75,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // zero value is not usable.
 type Store struct {
 	dir string
+	now func() time.Time // injectable clock: LRU touches and tmp aging; nil = wall clock
 
 	mu       sync.Mutex
 	maxBytes int64
@@ -174,7 +175,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	s.hits.Add(1)
-	now := time.Now()
+	now := s.clock()
 	os.Chtimes(path, now, now) // best-effort LRU touch
 	return payload, true
 }
@@ -190,6 +191,18 @@ func (s *Store) Has(key string) bool {
 	}
 	_, ok = readEntry(path)
 	return ok
+}
+
+// clock reads the store's injectable clock, defaulting to the wall
+// clock so directly-constructed handles behave like Open'd ones. The
+// clock times LRU touches and tmp-file aging only — never simulated
+// stats.
+func (s *Store) clock() time.Time {
+	now := s.now
+	if now == nil {
+		now = time.Now
+	}
+	return now()
 }
 
 // readEntry reads and validates one framed entry file.
@@ -314,7 +327,7 @@ func (s *Store) gcLocked() {
 	}
 	var entries []entry
 	var total int64
-	now := time.Now()
+	now := s.clock()
 	for _, de := range dirents {
 		name := de.Name()
 		info, err := de.Info()

@@ -373,3 +373,47 @@ func TestGCStaleSizeCacheRecovers(t *testing.T) {
 		t.Fatal("fresh entry lost after stale-cache GC")
 	}
 }
+
+// TestInjectedClock pins the injectable-clock seam the wallclock linter
+// demands of infra packages: an LRU touch on Get stamps the entry with
+// the injected clock's time, and GC's tmp-file aging judges staleness
+// against the same clock.
+func TestInjectedClock(t *testing.T) {
+	s := testStore(t)
+	past := time.Date(2020, 6, 1, 12, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return past }
+
+	key := Key([]byte("clock-seam"))
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("Get missed a just-written entry")
+	}
+	info, err := os.Stat(filepath.Join(s.dir, key+entrySuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ModTime().Equal(past) {
+		t.Errorf("LRU touch used mtime %v, want the injected clock's %v", info.ModTime(), past)
+	}
+
+	// A *.tmp file "older" than tmpMaxAge relative to the injected clock
+	// is killed-writer debris; with the clock wound far forward the GC
+	// must sweep it even though its real mtime is fresh.
+	tmp := filepath.Join(s.dir, "debris"+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(tmp, past, past); err != nil {
+		t.Fatal(err)
+	}
+	s.now = func() time.Time { return past.Add(365 * 24 * time.Hour) }
+	s.SetMaxBytes(1) // force a GC pass on the next write
+	if err := s.Put(Key([]byte("another")), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("GC left tmp debris in place under a wound-forward clock (err=%v)", err)
+	}
+}
