@@ -14,7 +14,7 @@ COVER_FLOOR ?= 75.0
 # FUZZTIME bounds each fuzz target's run in `make fuzz` (CI uses 10s).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke store-smoke fleet-smoke fmt vet lint cover fuzz examples ci
+.PHONY: all build test race bench bench-json bench-intra bench-compare bench-serve serve-smoke store-smoke fleet-smoke sample-smoke fmt vet lint cover fuzz examples ci
 
 all: build test
 
@@ -57,8 +57,8 @@ bench-intra:
 # sub-100µs micro-benchmarks from gating (still printed): at the
 # snapshots' -benchtime=1x a single ~100ns call cannot be timed reliably,
 # and gating on it would flag a random set every run.
-BENCH_BEFORE ?= BENCH_pr8_before.json
-BENCH_AFTER  ?= BENCH_pr8_after.json
+BENCH_BEFORE ?= BENCH_pr10_before.json
+BENCH_AFTER  ?= BENCH_pr10_after.json
 bench-compare:
 	go run ./cmd/benchjson -compare -floor 100000 $(BENCH_BEFORE) $(BENCH_AFTER)
 
@@ -92,6 +92,14 @@ store-smoke:
 # cell must quarantine it after the retry budget and exit non-zero.
 fleet-smoke:
 	FLEET_SMOKE=1 go test ./cmd/confluence-sim -run TestFleetSmoke -count=1 -v -timeout 15m
+
+# sample-smoke pins sampled mode's acceptance bound with the real binary:
+# the Figure 1 BTB capacity sweep (a full figure of prefetcherless cells,
+# where sampled full-coverage MPKI is event-exact) run exact and with
+# -sample must agree within 1% on every cell while the sampled plan
+# details at least 10x fewer instructions.
+sample-smoke:
+	SAMPLE_SMOKE=1 go test ./cmd/confluence-sim -run TestSampleSmoke -count=1 -v -timeout 15m
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -127,4 +135,4 @@ examples:
 
 # `cover` runs the full `go test ./...` suite itself, so ci does not also
 # depend on the plain `test` target (race is the only second full pass).
-ci: fmt vet lint build cover examples race bench fuzz serve-smoke store-smoke fleet-smoke
+ci: fmt vet lint build cover examples race bench fuzz serve-smoke store-smoke fleet-smoke sample-smoke

@@ -86,6 +86,33 @@ func BenchmarkFigure1_BTBCapacitySweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure1_Sampled regenerates Figure 1 in SMARTS-style sampled
+// mode — the headline perf pairing with BenchmarkFigure1_BTBCapacitySweep
+// above: same sweep, ≥10× fewer detailed instructions (the detailx
+// metric), with the sweep's prefetcherless cells exact via full-coverage
+// probe tallies.
+func BenchmarkFigure1_Sampled(b *testing.B) {
+	sc := benchScale()
+	sp := core.AutoSampling(sc.Measure)
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		r.Sampling = sp
+		rows, err := r.Figure1(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var at1K []float64
+		for _, row := range rows {
+			at1K = append(at1K, row.MPKI[0])
+		}
+		b.ReportMetric(stats.Mean(at1K), "mpki@1K")
+		b.ReportMetric(float64(sc.Warmup+sc.Measure)/float64(sp.DetailedInstr()), "detailx")
+		if i == 0 {
+			b.Log("\n" + experiments.Figure1Table(rows).String())
+		}
+	}
+}
+
 // BenchmarkTable2_BranchDensity regenerates Table 2: static and dynamic
 // branch density per demand-fetched 64B block.
 func BenchmarkTable2_BranchDensity(b *testing.B) {

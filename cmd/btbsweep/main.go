@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	btbsweep [-scale small|default|paper] [-workers N] [-workload NAME] [-store DIR]
+//	btbsweep [-scale small|default|paper] [-workers N] [-workload NAME] [-store DIR] [-sample]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"confluence/internal/cliutil"
+	"confluence/internal/core"
 	"confluence/internal/experiments"
 	"confluence/internal/store"
 	"confluence/internal/synth"
@@ -23,6 +24,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = REPRO_WORKERS or GOMAXPROCS)")
 	workload := flag.String("workload", "", "restrict to one workload profile")
 	storeDir := flag.String("store", "", "durable result store directory: repeat sweeps resume from completed cells")
+	sample := flag.Bool("sample", false, "SMARTS-style sampled simulation: fast-forward warm-up + periodic detailed windows (~10x fewer detailed instructions)")
 	flag.Parse()
 
 	sc := experiments.ScaleFromEnv()
@@ -58,6 +60,9 @@ func main() {
 	r.Workers = *workers
 	if *storeDir != "" {
 		r.Store = store.Open(*storeDir)
+	}
+	if *sample {
+		r.Sampling = core.AutoSampling(sc.Measure)
 	}
 
 	rows, err := r.Figure1(ctx)

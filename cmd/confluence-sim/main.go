@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	confluence-sim [-scale small|default|paper] [-workers N] [-intra-workers N] [-intra-epoch K] [-run fig1,table2,fig6,...] [-store DIR] [-v]
+//	confluence-sim [-scale small|default|paper] [-workers N] [-intra-workers N] [-intra-epoch K] [-run fig1,table2,fig6,...] [-store DIR] [-sample] [-v]
 //	confluence-sim -trace CAPTURE_DIR [-trace-workload NAME] [-scale ...]
 //	confluence-sim -mix OLTP-DB2,Web-Frontend [-scale ...]
 //	confluence-sim -job job.json [-v]
@@ -39,6 +39,16 @@
 // schema the confluence-serve daemon accepts) through the daemon's
 // executor, so a spec can be debugged locally before being submitted to a
 // server — the results are identical by construction.
+//
+// With -sample, simulations run in SMARTS-style sampled mode: warm-up
+// advances through functional fast-forward (only history-relevant state —
+// predictors, BTBs, caches, SHIFT history — evolves) and the measure
+// region is covered by periodic detailed windows whose per-window
+// statistics carry 95% confidence intervals, cutting detailed-simulated
+// instructions ~10-20x at sub-percent IPC/MPKI error. Combined with
+// -store, the warm-up state is checkpointed and reused across design
+// points sharing a workload. Exact mode (no flag) remains the golden
+// anchor.
 //
 // With -store, completed simulation cells persist to a content-addressed
 // on-disk result store, and cells whose inputs are already stored are
@@ -93,6 +103,7 @@ func main() {
 	fleetCoord := flag.String("fleet-coordinator", "", "publish the -job grid as a fleet rooted at this directory and participate until it resolves (requires -job and -store)")
 	fleetWorker := flag.String("fleet-worker", "", "attach to the fleet rooted at this directory and work cells until the grid resolves")
 	fleetTTL := flag.Duration("fleet-lease-ttl", 0, "fleet cell lease TTL (coordinator default 10s; workers inherit the manifest's)")
+	sample := flag.Bool("sample", false, "SMARTS-style sampled simulation: fast-forward warm-up + periodic detailed measurement windows with 95% CIs (~10x fewer detailed instructions; exact mode stays the golden anchor)")
 	flag.Parse()
 	defer reportStore(*storeDir)
 
@@ -130,13 +141,13 @@ func main() {
 		return
 	}
 	if *traceDir != "" {
-		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *storeDir, *workers, *intraWorkers, *intraEpoch); err != nil {
+		if err := replayTrace(ctx, sc, *traceDir, *traceWorkload, *storeDir, *workers, *intraWorkers, *intraEpoch, *sample); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *mixFlag != "" {
-		if err := runMix(ctx, sc, *mixFlag, *storeDir, *workers, *intraWorkers, *intraEpoch, *verbose); err != nil {
+		if err := runMix(ctx, sc, *mixFlag, *storeDir, *workers, *intraWorkers, *intraEpoch, *sample, *verbose); err != nil {
 			fatal(err)
 		}
 		return
@@ -162,6 +173,12 @@ func main() {
 	r.EpochBlocks = *intraEpoch
 	if *storeDir != "" {
 		r.Store = store.Open(*storeDir)
+	}
+	if *sample {
+		sp := confluence.AutoSampling(sc.Measure)
+		r.Sampling = sp
+		fmt.Printf("sampled mode: %d windows of %d instr per %d instr (+%d detailed warm-up each), warm-up fast-forwarded\n\n",
+			sp.Windows, sp.WindowInstr, sp.PeriodInstr, sp.WindowWarmupInstr)
 	}
 	if *verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
@@ -249,7 +266,7 @@ func main() {
 
 // replayTrace runs the paper's headline design points over a capture
 // directory, one replayed simulation per design.
-func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName, storeDir string, workers, intraWorkers, intraEpoch int) error {
+func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName, storeDir string, workers, intraWorkers, intraEpoch int, sample bool) error {
 	// Split the goroutine budget between replay-level and in-run
 	// parallelism, exactly as the experiment runners do.
 	workers = experiments.SplitWorkers(workers, intraWorkers)
@@ -268,6 +285,10 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName, s
 		confluence.Base1K, confluence.FDP1K, confluence.TwoLevelFDP,
 		confluence.TwoLevelSHIFT, confluence.Confluence, confluence.Ideal,
 	}
+	var sp confluence.Sampling
+	if sample {
+		sp = confluence.AutoSampling(sc.Measure)
+	}
 	cfgs := make([]confluence.Config, len(designs))
 	for i, dp := range designs {
 		cfgs[i] = confluence.Config{
@@ -277,6 +298,7 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName, s
 			IntraParallelism: intraWorkers,
 			EpochBlocks:      intraEpoch,
 			StoreDir:         storeDir,
+			Sampling:         sp,
 		}
 	}
 	res, err := confluence.RunMany(ctx, workers, cfgs)
@@ -286,18 +308,26 @@ func replayTrace(ctx context.Context, sc experiments.Scale, dir, workloadName, s
 
 	fmt.Printf("replaying %s (%s calibration), %d cores, warmup=%d measure=%d per core\n\n",
 		dir, w.Prof.Name, sc.Cores, sc.Warmup, sc.Measure)
-	fmt.Printf("%-18s %7s %8s %8s %9s\n", "design", "IPC", "btbMPKI", "l1iMPKI", "speedup")
+	header := fmt.Sprintf("%-18s %7s %8s %8s %9s", "design", "IPC", "btbMPKI", "l1iMPKI", "speedup")
+	if sample {
+		header += "   IPC ±95%CI"
+	}
+	fmt.Println(header)
 	base := res[0].Stats.IPC()
 	for i, dp := range designs {
 		st := res[i].Stats
-		fmt.Printf("%-18s %7.3f %8.1f %8.1f %8.2fx\n",
+		line := fmt.Sprintf("%-18s %7.3f %8.1f %8.1f %8.2fx",
 			dp, st.IPC(), st.BTBMPKI(), st.L1IMPKI(), st.IPC()/base)
+		if rep := res[i].Sampled; rep != nil {
+			line += "   " + rep.IPC.String()
+		}
+		fmt.Println(line)
 	}
 	return nil
 }
 
 // runMix runs the consolidation study on one explicit workload mix.
-func runMix(ctx context.Context, sc experiments.Scale, spec, storeDir string, workers, intraWorkers, intraEpoch int, verbose bool) error {
+func runMix(ctx context.Context, sc experiments.Scale, spec, storeDir string, workers, intraWorkers, intraEpoch int, sample, verbose bool) error {
 	var mix []*confluence.Workload
 	for _, name := range strings.Split(spec, ",") {
 		w, err := confluence.BuildWorkload(strings.TrimSpace(name))
@@ -312,6 +342,9 @@ func runMix(ctx context.Context, sc experiments.Scale, spec, storeDir string, wo
 	r.EpochBlocks = intraEpoch
 	if storeDir != "" {
 		r.Store = store.Open(storeDir)
+	}
+	if sample {
+		r.Sampling = confluence.AutoSampling(sc.Measure)
 	}
 	if verbose {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }

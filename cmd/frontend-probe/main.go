@@ -48,6 +48,7 @@ func main() {
 	intraEpoch := flag.Int("intra-epoch", 0, "bound-weave epoch depth K in blocks per core (0/1 = exact)")
 	traceDir := flag.String("trace", "", "replay a capture directory instead of executing the workload live")
 	storeDir := flag.String("store", "", "durable result store directory: repeat probes of the same cell are served from disk")
+	sample := flag.Bool("sample", false, "SMARTS-style sampled simulation: fast-forward warm-up + periodic detailed windows (~10x fewer detailed instructions)")
 	flag.Parse()
 
 	var w *synth.Workload
@@ -144,6 +145,9 @@ func main() {
 	r.EpochBlocks = *intraEpoch
 	if *storeDir != "" {
 		r.Store = store.Open(*storeDir)
+	}
+	if *sample {
+		r.Sampling = core.AutoSampling(*instr)
 	}
 	if err := r.Grid(designs).Execute(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "frontend-probe:", err)

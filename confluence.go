@@ -78,6 +78,22 @@ type Stats = frontend.Stats
 // Options fine-tunes system assembly (AirBTB geometry, SHIFT sizing, ...).
 type Options = core.Options
 
+// Sampling configures SMARTS-style sampled execution (see Config.Sampling):
+// Windows detailed measurement windows of WindowInstr instructions, one per
+// PeriodInstr of forward progress, the gaps and the warm-up covered by
+// functional fast-forward. The zero value is exact mode.
+type Sampling = core.Sampling
+
+// SampledReport is a sampled run's statistical summary: per-window
+// aggregates, mean ± 95% confidence intervals, and cost accounting (see
+// Result.Sampled).
+type SampledReport = experiments.SampledReport
+
+// AutoSampling derives a sampling plan for a measure region — eight
+// windows, 1/10 of the region in detail — the plan behind the CLIs'
+// -sample flag.
+func AutoSampling(measure uint64) Sampling { return core.AutoSampling(measure) }
+
 // WorkloadNames lists every available synthetic workload: the paper's
 // five-workload suite first (the set the experiment runners reproduce
 // figures over), then the extended scale-out scenarios.
@@ -250,6 +266,17 @@ type Config struct {
 	// serializable); the CONFLUENCE_STORE_MAX_BYTES environment variable
 	// caps the directory (LRU eviction).
 	StoreDir string
+	// Sampling, when enabled, replaces exact execution with SMARTS-style
+	// sampled measurement: warm-up runs through functional fast-forward
+	// (only history-relevant state evolves — branch predictors, BTBs,
+	// caches, SHIFT history — at a fraction of detailed cost), then the
+	// measure region is covered by periodic detailed windows whose
+	// statistics aggregate into Result.Stats plus a Result.Sampled report
+	// with 95% confidence intervals. With StoreDir set, the warm-up state
+	// at the first window boundary is checkpointed into the store and
+	// reused by later runs sharing the workload prefix (bit-identical to a
+	// live fast-forward warm-up). The zero value is exact mode, unchanged.
+	Sampling Sampling
 	// Tuning, optional: zero value uses the paper's configuration.
 	Options Options
 	// Parallelism bounds concurrent simulations when this Config seeds a
@@ -284,6 +311,10 @@ type Result struct {
 	// performance/area plane.
 	OverheadMM2  float64
 	RelativeArea float64
+	// Sampled is the sampling report of a Config.Sampling run (nil in
+	// exact mode): per-window aggregates, mean ± 95% CI estimates, and
+	// the detailed-instruction reduction achieved.
+	Sampled *SampledReport
 }
 
 // Run assembles and simulates one design point. It is RunCtx with a
@@ -354,7 +385,7 @@ func ConfigStoreKey(cfg Config) (string, bool) {
 	if err != nil {
 		return "", false
 	}
-	return experiments.CellStoreKey(cfg.WarmupInstr, cfg.MeasureInstr, mix, cfg.TraceDir, cfg.Design, opt)
+	return experiments.CellStoreKeySampled(cfg.WarmupInstr, cfg.MeasureInstr, mix, cfg.TraceDir, cfg.Design, opt, cfg.Sampling)
 }
 
 // RunCtx assembles and simulates one design point, honoring cancellation
@@ -368,6 +399,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		return nil, err
+	}
 	// The store key must be derived before TraceDir is folded into an
 	// opt.Sources closure below: a closure is opaque (CellStoreKey skips
 	// the store for it), while the (mix, TraceDir) pair is canonical key
@@ -375,7 +409,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	var resultStore *store.Store
 	var storeKey string
 	if cfg.StoreDir != "" {
-		if key, ok := experiments.CellStoreKey(cfg.WarmupInstr, cfg.MeasureInstr, mix, cfg.TraceDir, cfg.Design, opt); ok {
+		if key, ok := experiments.CellStoreKeySampled(cfg.WarmupInstr, cfg.MeasureInstr, mix, cfg.TraceDir, cfg.Design, opt, cfg.Sampling); ok {
 			resultStore = store.Open(cfg.StoreDir)
 			storeKey = key
 			if payload, hit := resultStore.Get(storeKey); hit {
@@ -386,10 +420,17 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 						PerCore:      e.PerCore,
 						OverheadMM2:  e.OverheadMM2,
 						RelativeArea: e.RelativeArea,
+						Sampled:      e.Sampled,
 					}, nil
 				}
 			}
 		}
+	}
+	// The warm-snapshot key is likewise canonical (mix, TraceDir)
+	// material; it only exists for sampled runs against a store.
+	var snapKey string
+	if resultStore != nil && cfg.Sampling.Enabled() {
+		snapKey, _ = experiments.SnapshotStoreKey(cfg.WarmupInstr, mix, cfg.TraceDir, cfg.Design, opt)
 	}
 	// Options.Sources is the most specific override and wins everywhere
 	// (core.NewMixSystem resolves it first too); TraceDir then beats the
@@ -406,20 +447,31 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	// path, success and error alike (the assembly above closes its own
 	// partial opens; see TestRunErrorClosesSources).
 	defer sys.Close()
-	st, err := sys.RunCtx(ctx, cfg.WarmupInstr, cfg.MeasureInstr)
+	var st *Stats
+	var perCore []*Stats
+	var sampled *SampledReport
+	if cfg.Sampling.Enabled() {
+		st, perCore, sampled, err = experiments.RunSampledSystem(ctx, sys, cfg.WarmupInstr, cfg.Sampling, resultStore, snapKey)
+	} else {
+		st, err = sys.RunCtx(ctx, cfg.WarmupInstr, cfg.MeasureInstr)
+		if err == nil {
+			perCore = sys.PerCoreSnapshot()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Config:       cfg,
 		Stats:        st,
-		PerCore:      sys.PerCoreSnapshot(),
+		PerCore:      perCore,
 		OverheadMM2:  sys.OverheadMM2,
 		RelativeArea: sys.RelativeArea,
+		Sampled:      sampled,
 	}
 	if resultStore != nil {
 		if payload, err := experiments.EncodeStoreEntry(experiments.StoreEntry{
-			Stats: res.Stats, PerCore: res.PerCore,
+			Stats: res.Stats, PerCore: res.PerCore, Sampled: res.Sampled,
 			OverheadMM2: res.OverheadMM2, RelativeArea: res.RelativeArea,
 		}); err == nil {
 			resultStore.Put(storeKey, payload) // best-effort persistence

@@ -1,0 +1,53 @@
+package airbtb
+
+import (
+	"fmt"
+
+	"confluence/internal/flatmap"
+	"confluence/internal/isa"
+)
+
+// State is the serializable state of an AirBTB, captured for warm-up
+// snapshots: the bundle table's raw slots (probe layout restores
+// verbatim — see flatmap.ExportState) and the overflow buffer with its
+// recency stamps. Diagnostic counters (Fills, Evictions...) are
+// excluded; they never influence a lookup or a fill decision.
+type State struct {
+	Bundles    flatmap.MapState
+	BundleVals []Bundle
+
+	OverflowPCs   []isa.Addr
+	OverflowEnts  []Entry
+	OverflowStamp []uint64
+	OverflowClock uint64
+}
+
+// ExportState deep-copies the structure's contents.
+func (a *AirBTB) ExportState() State {
+	st, vals := a.bundles.ExportState()
+	return State{
+		Bundles:       st,
+		BundleVals:    vals,
+		OverflowPCs:   append([]isa.Addr(nil), a.overflow.pcs...),
+		OverflowEnts:  append([]Entry(nil), a.overflow.ents...),
+		OverflowStamp: append([]uint64(nil), a.overflow.stamp...),
+		OverflowClock: a.overflow.clock,
+	}
+}
+
+// RestoreState overwrites the structure's contents from a snapshot;
+// geometry (bundle table slots, overflow capacity) must match.
+func (a *AirBTB) RestoreState(st State) error {
+	if err := a.bundles.RestoreState(st.Bundles, st.BundleVals); err != nil {
+		return err
+	}
+	o := a.overflow
+	if len(st.OverflowPCs) > o.cap || len(st.OverflowEnts) != len(st.OverflowPCs) || len(st.OverflowStamp) != len(st.OverflowPCs) {
+		return fmt.Errorf("airbtb: overflow snapshot malformed for capacity %d", o.cap)
+	}
+	o.pcs = append(o.pcs[:0], st.OverflowPCs...)
+	o.ents = append(o.ents[:0], st.OverflowEnts...)
+	o.stamp = append(o.stamp[:0], st.OverflowStamp...)
+	o.clock = st.OverflowClock
+	return nil
+}

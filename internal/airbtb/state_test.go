@@ -1,0 +1,50 @@
+package airbtb
+
+import (
+	"reflect"
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+func TestStateRoundTrip(t *testing.T) {
+	a := New(DefaultConfig())
+	base := isa.Addr(0x4000)
+	for i := 0; i < 32; i++ {
+		block := base + isa.Addr(i)*isa.BlockBytes
+		// Overfill the bundle so entries spill into the overflow buffer.
+		var brs []isa.PredecodedBranch
+		for o := uint8(0); o < 6; o++ {
+			brs = append(brs, isa.PredecodedBranch{Offset: o, Kind: isa.BrCond, Target: block + 0x1000})
+		}
+		fillBlock(a, block, brs...)
+	}
+	st := a.ExportState()
+	if len(st.OverflowPCs) == 0 {
+		t.Fatal("training produced no overflow entries")
+	}
+
+	fresh := New(DefaultConfig())
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.ExportState(), st) {
+		t.Error("re-exported state differs from the snapshot")
+	}
+	// Bit-identical future decisions on both copies.
+	r1 := a.Lookup(100, base, base+3*4)
+	r2 := fresh.Lookup(100, base, base+3*4)
+	if r1 != r2 {
+		t.Errorf("post-restore lookup diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestStateRestoreRejectsMalformedOverflow(t *testing.T) {
+	a := New(DefaultConfig())
+	fillBlock(a, 0x4000, isa.PredecodedBranch{Offset: 1, Kind: isa.BrCond, Target: 0x5000})
+	st := a.ExportState()
+	st.OverflowEnts = append(st.OverflowEnts, Entry{})
+	if err := New(DefaultConfig()).RestoreState(st); err == nil {
+		t.Error("restore with mismatched overflow arrays succeeded")
+	}
+}

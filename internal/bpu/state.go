@@ -1,0 +1,103 @@
+package bpu
+
+import (
+	"fmt"
+
+	"confluence/internal/isa"
+)
+
+// Warm-up snapshot support. The predictor tables are exported as raw
+// counter arrays so a restore is bit-identical to the live state it was
+// captured from. Diagnostic counters (DirStats, RAS.Pushes, ITC.Hits...)
+// are deliberately excluded: they never influence a prediction, and the
+// warm-up boundary resets them anyway.
+
+// HybridState is the serializable state of a Hybrid direction predictor.
+type HybridState struct {
+	Bim    []uint8 // bimodal counters, one per entry
+	Meta   []uint8 // meta-selector counters, parallel to Bim
+	GShare []uint8
+	Hist   uint64 // gshare global history register
+}
+
+// ExportState deep-copies the predictor's tables and history.
+func (h *Hybrid) ExportState() HybridState {
+	st := HybridState{
+		Bim:    make([]uint8, len(h.bm)),
+		Meta:   make([]uint8, len(h.bm)),
+		GShare: make([]uint8, len(h.gsh.table)),
+		Hist:   h.gsh.hist,
+	}
+	for i, e := range h.bm {
+		st.Bim[i], st.Meta[i] = uint8(e.bim), uint8(e.meta)
+	}
+	for i, c := range h.gsh.table {
+		st.GShare[i] = uint8(c)
+	}
+	return st
+}
+
+// RestoreState overwrites the predictor's tables and history from a
+// snapshot; table sizes must match.
+func (h *Hybrid) RestoreState(st HybridState) error {
+	if len(st.Bim) != len(h.bm) || len(st.Meta) != len(h.bm) || len(st.GShare) != len(h.gsh.table) {
+		return fmt.Errorf("bpu: hybrid snapshot table sizes do not match predictor")
+	}
+	for i := range h.bm {
+		h.bm[i] = bimMeta{bim: counter2(st.Bim[i]), meta: counter2(st.Meta[i])}
+	}
+	for i := range h.gsh.table {
+		h.gsh.table[i] = counter2(st.GShare[i])
+	}
+	h.gsh.hist = st.Hist
+	return nil
+}
+
+// RASState is the serializable state of a return address stack.
+type RASState struct {
+	Buf   []isa.Addr
+	Top   int
+	Depth int
+}
+
+// ExportState deep-copies the stack.
+func (r *RAS) ExportState() RASState {
+	return RASState{Buf: append([]isa.Addr(nil), r.buf...), Top: r.top, Depth: r.depth}
+}
+
+// RestoreState overwrites the stack from a snapshot; capacity must match.
+func (r *RAS) RestoreState(st RASState) error {
+	if len(st.Buf) != len(r.buf) {
+		return fmt.Errorf("bpu: RAS snapshot capacity %d does not match stack %d", len(st.Buf), len(r.buf))
+	}
+	copy(r.buf, st.Buf)
+	r.top, r.depth = st.Top, st.Depth
+	return nil
+}
+
+// ITCState is the serializable state of an indirect target cache.
+type ITCState struct {
+	Tags    []isa.Addr
+	Targets []isa.Addr
+	Valid   []bool
+}
+
+// ExportState deep-copies the cache.
+func (c *ITC) ExportState() ITCState {
+	return ITCState{
+		Tags:    append([]isa.Addr(nil), c.tags...),
+		Targets: append([]isa.Addr(nil), c.targets...),
+		Valid:   append([]bool(nil), c.valid...),
+	}
+}
+
+// RestoreState overwrites the cache from a snapshot; sizes must match.
+func (c *ITC) RestoreState(st ITCState) error {
+	if len(st.Tags) != len(c.tags) || len(st.Targets) != len(c.targets) || len(st.Valid) != len(c.valid) {
+		return fmt.Errorf("bpu: ITC snapshot size does not match cache")
+	}
+	copy(c.tags, st.Tags)
+	copy(c.targets, st.Targets)
+	copy(c.valid, st.Valid)
+	return nil
+}

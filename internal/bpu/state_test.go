@@ -1,0 +1,92 @@
+package bpu
+
+import (
+	"reflect"
+	"testing"
+
+	"confluence/internal/isa"
+)
+
+func TestHybridStateRoundTrip(t *testing.T) {
+	h := NewHybrid(1024)
+	for i := 0; i < 5000; i++ {
+		pc := isa.Addr(0x4000 + (i%37)*4)
+		h.PredictAndUpdate(pc, i%3 != 0)
+	}
+	st := h.ExportState()
+
+	fresh := NewHybrid(1024)
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.ExportState(), st) {
+		t.Error("re-exported state differs from the snapshot")
+	}
+	// Bit-identical future decisions: the two predictors must agree on
+	// every prediction of a shared post-restore stream.
+	for i := 0; i < 200; i++ {
+		pc := isa.Addr(0x4000 + (i%37)*4)
+		p1, c1 := h.PredictAndUpdate(pc, i%2 == 0)
+		p2, c2 := fresh.PredictAndUpdate(pc, i%2 == 0)
+		if p1 != p2 || c1 != c2 {
+			t.Fatalf("prediction diverged at step %d", i)
+		}
+	}
+
+	if err := NewHybrid(512).RestoreState(st); err == nil {
+		t.Error("restore into mismatched table size succeeded")
+	}
+}
+
+func TestRASStateRoundTrip(t *testing.T) {
+	r := NewRAS(16)
+	for i := 0; i < 20; i++ { // wraps past capacity
+		r.Push(isa.Addr(0x1000 + i*8))
+	}
+	r.Pop()
+	st := r.ExportState()
+
+	fresh := NewRAS(16)
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.ExportState(), st) {
+		t.Error("re-exported state differs from the snapshot")
+	}
+	got, okG := fresh.Pop()
+	want, okW := r.Pop()
+	if got != want || okG != okW {
+		t.Errorf("post-restore Pop = %#x,%v, want %#x,%v", got, okG, want, okW)
+	}
+
+	if err := NewRAS(8).RestoreState(st); err == nil {
+		t.Error("restore into mismatched capacity succeeded")
+	}
+}
+
+func TestITCStateRoundTrip(t *testing.T) {
+	c := NewITC(256)
+	for i := 0; i < 300; i++ {
+		pc := isa.Addr(0x2000 + i*4)
+		c.Update(pc, pc+0x1000)
+	}
+	st := c.ExportState()
+
+	fresh := NewITC(256)
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.ExportState(), st) {
+		t.Error("re-exported state differs from the snapshot")
+	}
+	pc := isa.Addr(0x2000 + 299*4)
+	got, okG := fresh.Predict(pc)
+	want, okW := c.Predict(pc)
+	if got != want || okG != okW {
+		t.Errorf("post-restore Predict = %#x,%v, want %#x,%v", got, okG, want, okW)
+	}
+
+	if err := NewITC(128).RestoreState(st); err == nil {
+		t.Error("restore into mismatched size succeeded")
+	}
+}

@@ -1,0 +1,64 @@
+package btb
+
+import "confluence/internal/cache"
+
+// Warm-up snapshot support. Each design exports its tagged stores as raw
+// cache state (see cache.ExportState — stamps and probe layout restore
+// verbatim, so a restored BTB makes bit-identical future decisions).
+// Diagnostic counters (TwoLevel.L2Hits/L2Misses) are excluded; they
+// never influence a lookup.
+
+// ConventionalState is the serializable state of a Conventional BTB.
+type ConventionalState struct {
+	Main     cache.AssocState
+	MainVals []Entry
+	// Victim is nil when the design has no victim buffer.
+	Victim     *cache.VictimState
+	VictimVals []Entry
+}
+
+// ExportState deep-copies the BTB contents.
+func (c *Conventional) ExportState() ConventionalState {
+	st, vals := c.main.ExportState()
+	out := ConventionalState{Main: st, MainVals: vals}
+	if c.victim != nil {
+		vs, vv := c.victim.ExportState()
+		out.Victim, out.VictimVals = &vs, vv
+	}
+	return out
+}
+
+// RestoreState overwrites the BTB contents from a snapshot; geometry
+// (including victim presence) must match.
+func (c *Conventional) RestoreState(st ConventionalState) error {
+	if err := c.main.RestoreState(st.Main, st.MainVals); err != nil {
+		return err
+	}
+	if c.victim != nil && st.Victim != nil {
+		return c.victim.RestoreState(*st.Victim, st.VictimVals)
+	}
+	return nil
+}
+
+// TwoLevelState is the serializable state of a TwoLevel BTB.
+type TwoLevelState struct {
+	L1     cache.AssocState
+	L1Vals []Entry
+	L2     cache.AssocState
+	L2Vals []Entry
+}
+
+// ExportState deep-copies both levels.
+func (t *TwoLevel) ExportState() TwoLevelState {
+	l1, v1 := t.l1.ExportState()
+	l2, v2 := t.l2.ExportState()
+	return TwoLevelState{L1: l1, L1Vals: v1, L2: l2, L2Vals: v2}
+}
+
+// RestoreState overwrites both levels from a snapshot.
+func (t *TwoLevel) RestoreState(st TwoLevelState) error {
+	if err := t.l1.RestoreState(st.L1, st.L1Vals); err != nil {
+		return err
+	}
+	return t.l2.RestoreState(st.L2, st.L2Vals)
+}

@@ -76,6 +76,10 @@ func (f *InFlight) Remove(key uint64) { f.m.Delete(key) }
 // Len returns the number of outstanding fills.
 func (f *InFlight) Len() int { return f.m.Len() }
 
+// Clear drops every outstanding fill (warm-state restore: a snapshot is
+// captured with the table empty, so restoring starts it empty too).
+func (f *InFlight) Clear() { f.m.Clear() }
+
 // Expire drops all fills with ready time <= now, invoking fn (when non-nil)
 // for each in ascending-slot order, and returns how many were dropped. The
 // sweep collects keys first and deletes second, so backward-shift compaction

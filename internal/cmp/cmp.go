@@ -147,6 +147,19 @@ type coreQ struct {
 	err     error
 }
 
+// coreProg is one core's phase-progress record. instr counts instructions
+// advanced across all phases (detailed and fast-forward) since engine
+// creation; phase targets are expressed against it, decoupled from
+// Stats().Instructions because fast-forward moves no stats counters. recs
+// counts stream records consumed (stepped or skipped) — the stream
+// position a warm-up snapshot records so a restored run can reposition its
+// sources (see SkipRecords).
+type coreProg struct {
+	instr  uint64
+	recs   uint64
+	target uint64
+}
+
 // weaveDesign is implemented by BTB designs backed by cross-core shared
 // state (PhantomBTB's group store): SetDeferred(true) switches them to
 // frozen reads plus logged writes for bound phases, ApplyLog replays a
@@ -163,9 +176,22 @@ type engine struct {
 	workers int
 	k       int // epoch depth in blocks; 1 = exact mode
 
+	// ff switches phases to the functional fast-forward path: cores
+	// advance through Core.FastStep instead of Core.Step, always under
+	// the exact (serial-weave) scheduler regardless of K — FastStep's
+	// shared-state writes apply directly, in canonical order, so no
+	// deferral is needed and results are worker-count independent by the
+	// same argument as K=1. See System.FastForward.
+	ff bool
+
 	q      []coreQ
-	target []uint64
 	active []int // compacted list of cores still below target
+
+	// prog tracks per-core phase progress. instr and target are kept
+	// together with recs in one small struct so the per-record
+	// bookkeeping in the step loops is a single indexed access on one
+	// cache line, not three.
+	prog []coreProg
 
 	// K>1 deferral plumbing, indexed by core (nil entries where unused).
 	ports  []*mem.BoundPort
@@ -193,8 +219,8 @@ func newEngine(s *System) *engine {
 	for i := range e.q {
 		e.q[i].buf = make([]trace.Record, qcap)
 	}
-	e.target = make([]uint64, len(s.Cores))
 	e.active = make([]int, 0, len(s.Cores))
+	e.prog = make([]coreProg, len(s.Cores))
 	if k > 1 {
 		e.ports = make([]*mem.BoundPort, len(s.Cores))
 		e.recs = make([]*shift.Deferred, len(s.Cores))
@@ -221,11 +247,11 @@ func newEngine(s *System) *engine {
 // phase advances every core by approximately n instructions.
 func (e *engine) phase(ctx context.Context, n uint64) error {
 	e.active = e.active[:0]
-	for i, c := range e.s.Cores {
-		e.target[i] = c.Stats().Instructions + n
+	for i := range e.s.Cores {
+		e.prog[i].target = e.prog[i].instr + n
 		e.active = append(e.active, i)
 	}
-	if e.k == 1 {
+	if e.k == 1 || e.ff {
 		return e.phaseExact(ctx)
 	}
 	return e.phaseBound(ctx)
@@ -287,15 +313,27 @@ func (e *engine) phaseExact(ctx context.Context) error {
 				}
 			}
 		}
+		// Slice headers and the mode flag are loop-invariant, but the
+		// compiler cannot prove that across the Step call — hoisting them
+		// into locals keeps the detailed inner loop as tight as it was
+		// before the fast-forward path and progress bookkeeping existed.
+		ff, cores, qs, prog := e.ff, e.s.Cores, e.q, e.prog
 		for r := 0; r < rounds && len(e.active) > 0; r++ {
 			w := 0
 			for _, c := range e.active {
-				q := &e.q[c]
-				core := e.s.Cores[c]
-				core.Step(&q.buf[q.head])
+				q := &qs[c]
+				rec := &q.buf[q.head]
+				if ff {
+					cores[c].FastStep(rec)
+				} else {
+					cores[c].Step(rec)
+				}
 				q.head++
 				q.n--
-				if core.Stats().Instructions < e.target[c] {
+				pg := &prog[c]
+				pg.instr += uint64(rec.N)
+				pg.recs++
+				if pg.instr < pg.target {
 					e.active[w] = c
 					w++
 				}
@@ -331,7 +369,7 @@ func (e *engine) phaseBound(ctx context.Context) error {
 			if wd := e.weaves[c]; wd != nil {
 				wd.ApplyLog()
 			}
-			if e.s.Cores[c].Stats().Instructions >= e.target[c] {
+			if e.prog[c].instr >= e.prog[c].target {
 				continue
 			}
 			if e.q[c].n == 0 && e.q[c].err != nil && firstDry < 0 {
@@ -357,12 +395,15 @@ func (e *engine) boundStep(c int) {
 	e.refill(c)
 	q := &e.q[c]
 	core := e.s.Cores[c]
-	target := e.target[c]
+	pg := &e.prog[c]
 	for i := 0; i < e.k; i++ {
-		if q.n == 0 || core.Stats().Instructions >= target {
+		if q.n == 0 || pg.instr >= pg.target {
 			return
 		}
-		core.Step(&q.buf[q.head])
+		rec := &q.buf[q.head]
+		core.Step(rec)
+		pg.instr += uint64(rec.N)
+		pg.recs++
 		q.head++
 		q.n--
 	}

@@ -1,0 +1,79 @@
+package cmp
+
+import "testing"
+
+func TestSamplingValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   Sampling
+		ok   bool
+	}{
+		{"zero value (exact mode)", Sampling{}, true},
+		{"auto-style plan", Sampling{WindowInstr: 100, PeriodInstr: 2000, Windows: 8, WindowWarmupInstr: 100}, true},
+		{"no warmup", Sampling{WindowInstr: 500, PeriodInstr: 500, Windows: 1}, true},
+		{"zero window", Sampling{PeriodInstr: 1000, Windows: 4}, false},
+		{"zero windows", Sampling{WindowInstr: 100, PeriodInstr: 1000}, false},
+		{"negative windows", Sampling{WindowInstr: 100, PeriodInstr: 1000, Windows: -1}, false},
+		{"window overruns period", Sampling{WindowInstr: 600, PeriodInstr: 1000, Windows: 2, WindowWarmupInstr: 600}, false},
+	}
+	for _, c := range cases {
+		if err := c.sp.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	if (Sampling{}).Enabled() {
+		t.Error("zero Sampling reports Enabled")
+	}
+	if !(Sampling{WindowInstr: 1, PeriodInstr: 1, Windows: 1}).Enabled() {
+		t.Error("non-zero Sampling reports disabled")
+	}
+}
+
+func TestSamplingInstructionAccounting(t *testing.T) {
+	sp := Sampling{WindowInstr: 100, PeriodInstr: 2000, Windows: 8, WindowWarmupInstr: 50}
+	if got, want := sp.DetailedInstr(), uint64(8*150); got != want {
+		t.Errorf("DetailedInstr() = %d, want %d", got, want)
+	}
+	// Eight full periods: the last window's trailing gap is fast-forwarded
+	// too, so coverage spans Windows×PeriodInstr.
+	if got, want := sp.TotalInstr(), uint64(8*2000); got != want {
+		t.Errorf("TotalInstr() = %d, want %d", got, want)
+	}
+	if got := (Sampling{}).TotalInstr(); got != 0 {
+		t.Errorf("zero Sampling TotalInstr() = %d", got)
+	}
+}
+
+func TestAutoSamplingPlan(t *testing.T) {
+	for _, measure := range []uint64{0, 39, 100, 40_000, 1_500_000, 3_000_000} {
+		sp := AutoSampling(measure)
+		if err := sp.Validate(); err != nil {
+			t.Errorf("AutoSampling(%d) invalid: %v", measure, err)
+		}
+		if measure == 0 {
+			if sp.Enabled() {
+				t.Error("AutoSampling(0) enabled")
+			}
+			continue
+		}
+		if !sp.Enabled() {
+			t.Errorf("AutoSampling(%d) disabled", measure)
+		}
+		if sp.TotalInstr() > measure {
+			t.Errorf("AutoSampling(%d) advances %d instructions past the measure region", measure, sp.TotalInstr())
+		}
+	}
+	// The headline plan: at realistic scales, at most 15% of the measure
+	// region runs in detail, so a run whose fast-forwarded warm-up phase
+	// spans at least half the measure region sees a ≥10× overall
+	// reduction in detailed-simulated instructions.
+	for _, measure := range []uint64{800_000, 1_500_000, 3_000_000} {
+		sp := AutoSampling(measure)
+		if 20*sp.DetailedInstr() > 3*measure {
+			t.Errorf("AutoSampling(%d): %d detailed instructions, want ≤ 15%% of the region", measure, sp.DetailedInstr())
+		}
+		if 10*sp.DetailedInstr() > measure/2+measure {
+			t.Errorf("AutoSampling(%d): %d detailed instructions break the ≥10× claim at warmup=measure/2", measure, sp.DetailedInstr())
+		}
+	}
+}

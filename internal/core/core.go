@@ -237,6 +237,11 @@ type System struct {
 	History      *shift.History
 	PhantomStore *phantom.Store
 	AirBTBs      []*airbtb.AirBTB
+
+	// HistoryPerCore records the ablation wiring (each core a private
+	// SHIFT history): warm-up snapshots only capture the shared history,
+	// so snapshotting is unsupported under it.
+	HistoryPerCore bool
 }
 
 // NewSystem assembles a CMP running workload w on every core under design
@@ -316,7 +321,7 @@ func NewMixSystem(mix []*synth.Workload, dp DesignPoint, opt Options) (*System, 
 		slotOf[i] = s
 	}
 
-	sys := &System{Design: dp, Workload: mix[0], Workloads: mix}
+	sys := &System{Design: dp, Workload: mix[0], Workloads: mix, HistoryPerCore: opt.HistoryPerCore}
 
 	// Memory hierarchy: reserve LLC capacity for virtualized metadata.
 	reserved := 0

@@ -84,6 +84,13 @@ type Runner struct {
 	// EpochBlocks is the bound-weave epoch depth K forwarded to every cell
 	// (core.Options.EpochBlocks); 0/1 is the exact mode.
 	EpochBlocks int
+	// Sampling, when enabled, runs every cell in SMARTS-style sampled
+	// mode: warm-up by functional fast-forward (reusing durable warm
+	// snapshots when Store is set), then windowed detailed measurement
+	// per the plan (see core.Sampling). Sampled cells occupy their own
+	// memo and store namespace — the zero value (exact mode) remains the
+	// default and the golden anchor.
+	Sampling core.Sampling
 	// Store, if set, is the durable result store consulted before and
 	// written after every simulation: a cell whose key (CellStoreKey —
 	// workloads, design, options, instruction counts, ResultVersion) is
@@ -115,6 +122,7 @@ type cacheEntry struct {
 	done    chan struct{}
 	stats   *frontend.Stats
 	perCore []*frontend.Stats
+	sampled *SampledReport // non-nil only for sampled cells
 	err     error
 }
 
@@ -155,6 +163,16 @@ func optKey(opt core.Options) string {
 	return fmt.Sprintf("c%d-air%d.%d.%d-sw%d-la%d-priv%v-k%d",
 		opt.Cores, opt.Air.Bundles, opt.Air.EntriesPerBundle, opt.Air.OverflowEntries,
 		opt.SweepBTBEntries, opt.Shift.Lookahead, opt.HistoryPerCore, max(opt.EpochBlocks, 1))
+}
+
+// samplingMemoKey suffixes the memo key of a sampled cell so it never
+// shares a slot with the exact run of the same configuration.
+func samplingMemoKey(sp core.Sampling) string {
+	if !sp.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("|sampled:w%d-p%d-n%d-wu%d",
+		sp.WindowInstr, sp.PeriodInstr, sp.Windows, sp.WindowWarmupInstr)
 }
 
 // MixName labels a workload mix: the single workload's name, or the slot
@@ -226,7 +244,17 @@ func (r *Runner) RunCtx(ctx context.Context, w *synth.Workload, dp core.DesignPo
 // RunCtx; a single-workload mix shares its cache cell with the
 // homogeneous RunCtx of the same workload.
 func (r *Runner) RunMixCtx(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, error) {
-	key := cellKey(mix, dp, opt)
+	st, perCore, _, err := r.RunMixSampledCtx(ctx, mix, dp, opt)
+	return st, perCore, err
+}
+
+// RunMixSampledCtx is RunMixCtx additionally returning the cell's
+// sampling report: non-nil exactly when the runner's Sampling is enabled
+// (a stored sampled cell round-trips its report through the store
+// entry). Exact runners get nil — there is nothing to report beyond the
+// stats.
+func (r *Runner) RunMixSampledCtx(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, *SampledReport, error) {
+	key := cellKey(mix, dp, opt) + samplingMemoKey(r.Sampling)
 	for {
 		r.mu.Lock()
 		e, leader := r.cache[key]
@@ -234,14 +262,14 @@ func (r *Runner) RunMixCtx(ctx context.Context, mix []*synth.Workload, dp core.D
 			e = &cacheEntry{done: make(chan struct{})}
 			r.cache[key] = e
 			r.mu.Unlock()
-			e.stats, e.perCore, e.err = r.simulate(ctx, mix, dp, opt)
+			e.stats, e.perCore, e.sampled, e.err = r.simulate(ctx, mix, dp, opt)
 			if e.err != nil {
 				r.mu.Lock()
 				delete(r.cache, key)
 				r.mu.Unlock()
 			}
 			close(e.done)
-			return e.stats, e.perCore, e.err
+			return e.stats, e.perCore, e.sampled, e.err
 		}
 		r.mu.Unlock()
 		select {
@@ -249,9 +277,9 @@ func (r *Runner) RunMixCtx(ctx context.Context, mix []*synth.Workload, dp core.D
 			if isCancellation(e.err) && ctx.Err() == nil {
 				continue // the leader was cancelled, we weren't: retry
 			}
-			return e.stats, e.perCore, e.err
+			return e.stats, e.perCore, e.sampled, e.err
 		case <-ctx.Done():
-			return nil, nil, ctx.Err()
+			return nil, nil, nil, ctx.Err()
 		}
 	}
 }
@@ -285,14 +313,14 @@ func (e ProgressEvent) String() string {
 // — so an observer that has seen a cell reported knows the cell is
 // durable. Cancellation reaches a started cell mid-run: the epoch engine
 // polls ctx at every epoch barrier.
-func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, error) {
+func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options) (*frontend.Stats, []*frontend.Stats, *SampledReport, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var storeKey string
 	haveKey := false
 	if r.Store != nil {
-		storeKey, haveKey = CellStoreKey(r.Scale.Warmup, r.Scale.Measure, mix, "", dp, opt)
+		storeKey, haveKey = CellStoreKeySampled(r.Scale.Warmup, r.Scale.Measure, mix, "", dp, opt, r.Sampling)
 		if haveKey {
 			if payload, hit := r.Store.Get(storeKey); hit {
 				if e, ok := DecodeStoreEntry(payload); ok {
@@ -302,24 +330,37 @@ func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.De
 							IPC: e.Stats.IPC(), BTBMPKI: e.Stats.BTBMPKI(), L1IMPKI: e.Stats.L1IMPKI(),
 						}
 					})
-					return e.Stats, e.PerCore, nil
+					return e.Stats, e.PerCore, e.Sampled, nil
 				}
 			}
 		}
 	}
 	sys, err := core.NewMixSystem(mix, dp, opt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer sys.Close()
-	st, err := sys.RunCtx(ctx, r.Scale.Warmup, r.Scale.Measure)
-	if err != nil {
-		return nil, nil, err
+	var st *frontend.Stats
+	var perCore []*frontend.Stats
+	var sampled *SampledReport
+	if r.Sampling.Enabled() {
+		var snapKey string
+		if r.Store != nil {
+			snapKey, _ = SnapshotStoreKey(r.Scale.Warmup, mix, "", dp, opt)
+		}
+		st, perCore, sampled, err = RunSampledSystem(ctx, sys, r.Scale.Warmup, r.Sampling, r.Store, snapKey)
+	} else {
+		st, err = sys.RunCtx(ctx, r.Scale.Warmup, r.Scale.Measure)
+		if err == nil {
+			perCore = sys.PerCoreSnapshot()
+		}
 	}
-	perCore := sys.PerCoreSnapshot()
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if haveKey {
 		if payload, err := EncodeStoreEntry(StoreEntry{
-			Stats: st, PerCore: perCore,
+			Stats: st, PerCore: perCore, Sampled: sampled,
 			OverheadMM2: sys.OverheadMM2, RelativeArea: sys.RelativeArea,
 		}); err == nil {
 			r.Store.Put(storeKey, payload) // best-effort: the result is in hand
@@ -331,7 +372,7 @@ func (r *Runner) simulate(ctx context.Context, mix []*synth.Workload, dp core.De
 			IPC: st.IPC(), BTBMPKI: st.BTBMPKI(), L1IMPKI: st.L1IMPKI(),
 		}
 	})
-	return st, perCore, nil
+	return st, perCore, sampled, nil
 }
 
 // progress emits one serialized progress event to whichever callbacks are

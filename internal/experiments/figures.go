@@ -7,6 +7,7 @@ import (
 	"confluence/internal/airbtb"
 	"confluence/internal/core"
 	"confluence/internal/stats"
+	"confluence/internal/synth"
 )
 
 // Every figure follows the same two-phase shape: collect all needed cells
@@ -49,11 +50,17 @@ func (r *Runner) Figure1(ctx context.Context) ([]Fig1Row, error) {
 	for _, w := range r.Workloads {
 		row := Fig1Row{Workload: w.Prof.Name}
 		for _, e := range Figure1Sizes {
-			st, err := r.RunCtx(ctx, w, core.SweepBTB, r.sweepOptions(e))
+			st, _, rep, err := r.RunMixSampledCtx(ctx, []*synth.Workload{w}, core.SweepBTB, r.sweepOptions(e))
 			if err != nil {
 				return nil, err
 			}
-			row.MPKI = append(row.MPKI, st.BTBMPKI())
+			mpki := st.BTBMPKI()
+			if rep != nil {
+				// Sweep BTBs have no prefetcher, so a sampled cell's
+				// full-coverage ratio is exact — the figure loses nothing.
+				mpki = rep.BestBTBMPKI(st)
+			}
+			row.MPKI = append(row.MPKI, mpki)
 		}
 		rows = append(rows, row)
 	}

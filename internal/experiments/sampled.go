@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"confluence/internal/core"
+	"confluence/internal/frontend"
+	"confluence/internal/stats"
+	"confluence/internal/store"
+	"confluence/internal/synth"
+)
+
+// SMARTS-style sampled execution over assembled systems: functional
+// fast-forward warm-up (optionally restored from a durable snapshot),
+// periodic detailed measurement windows, and per-window statistics
+// aggregated into mean ± 95% confidence intervals. This file is the
+// shared orchestration every entry point (the public Run API, the
+// Runner's grid cells, the CLIs) routes through, so sampled results are
+// bit-identical no matter which layer asked for them.
+
+// WarmVersion pins the warm-snapshot semantics (what state is captured
+// and how fast-forward evolves it). It is part of every snapshot's store
+// key; bump it whenever the fast-forward path or the snapshot layout
+// changes.
+const WarmVersion = "confluence-warm-v1"
+
+// warmKeyMaterial is the canonical serialization a warm-up snapshot's
+// store key is hashed from: everything that determines the warm state at
+// the first window boundary, and nothing that cannot change it. Design
+// points collapse to their WarmClass — Base1K and FDP1K, differing only
+// in timing machinery that fast-forward never touches, share snapshots —
+// and pure timing knobs (prefetcher lookahead, epoch depth, worker
+// counts) are absent: fast-forward always runs the exact serial
+// schedule.
+type warmKeyMaterial struct {
+	Version        string          `json:"version"`
+	Warmup         uint64          `json:"warmup"`
+	Cores          int             `json:"cores"`
+	Class          string          `json:"class"`
+	Profiles       []synth.Profile `json:"profiles"`
+	TraceDirs      []traceDirKey   `json:"trace_dirs,omitempty"`
+	HistoryEntries int             `json:"history_entries,omitempty"` // shared SHIFT history size (LLC reservation + contents)
+}
+
+// SnapshotStoreKey derives the durable store key for the warm-up
+// snapshot a sampled run of this cell would capture and reuse. ok is
+// false when snapshots do not apply: no warm-up, an Options.Sources
+// override (opaque streams), per-core private histories (state the
+// system cannot export), or an unreadable capture directory.
+func SnapshotStoreKey(warmup uint64, mix []*synth.Workload, traceDir string, dp core.DesignPoint, opt core.Options) (string, bool) {
+	if warmup == 0 || opt.Sources != nil || opt.HistoryPerCore {
+		return "", false
+	}
+	opt = opt.Normalized()
+	m := warmKeyMaterial{
+		Version:  WarmVersion,
+		Warmup:   warmup,
+		Cores:    opt.Cores,
+		Class:    dp.WarmClass(opt),
+		Profiles: make([]synth.Profile, len(mix)),
+	}
+	if dp.UsesSHIFT() {
+		m.HistoryEntries = opt.Shift.HistoryEntries
+	}
+	for i, w := range mix {
+		m.Profiles[i] = w.Prof
+		dir := w.TraceDir
+		if traceDir != "" {
+			dir = traceDir
+		}
+		if dir == "" {
+			continue
+		}
+		tk, ok := traceDirIdentity(i, dir)
+		if !ok {
+			return "", false
+		}
+		m.TraceDirs = append(m.TraceDirs, tk)
+	}
+	material, err := json.Marshal(m)
+	if err != nil {
+		return "", false
+	}
+	return store.Key(material), true
+}
+
+// SampledReport carries everything a sampled run measured beyond the
+// aggregate stats: the plan, per-window aggregates, the mean ± 95% CI
+// estimates the windows induce, and the cost accounting against exact
+// mode. Instruction counts are per core.
+type SampledReport struct {
+	Sampling    core.Sampling `json:"sampling"`
+	WarmupInstr uint64        `json:"warmup_instr"`
+	// DetailedInstructions is the per-core detailed-simulation budget the
+	// plan spent (measured windows plus detailed per-window warm-up);
+	// FastForwardInstructions what the functional path covered instead.
+	// Exact mode would have detailed their sum.
+	DetailedInstructions    uint64 `json:"detailed_instructions"`
+	FastForwardInstructions uint64 `json:"fast_forward_instructions"`
+	// SnapshotReused reports that warm-up state came from the durable
+	// store rather than a live fast-forward pass.
+	SnapshotReused bool `json:"snapshot_reused"`
+
+	// Windows holds each measurement window's aggregate stats in window
+	// order; the run's Stats is their in-order sum.
+	Windows []frontend.Stats `json:"windows"`
+
+	// Per-window means with 95% confidence intervals (normal
+	// approximation). The point estimates deliberately differ from the
+	// aggregate ratios (mean-of-ratios vs ratio-of-sums); the aggregate is
+	// the comparable number, the estimate bounds its sampling error.
+	IPC     stats.Estimate `json:"ipc"`
+	L1IMPKI stats.Estimate `json:"l1i_mpki"`
+	BTBMPKI stats.Estimate `json:"btb_mpki"`
+
+	// Coverage is the full-region L1-I/BTB probe accounting (windows,
+	// window warm-ups, and fast-forwarded gaps together). When
+	// Coverage.Exact — no prefetcher wired, as in the Figure 1 BTB
+	// capacity sweep — its MPKI ratios are exact rather than sampled, and
+	// BestL1IMPKI/BestBTBMPKI prefer them.
+	Coverage *core.Coverage `json:"coverage,omitempty"`
+}
+
+// BestL1IMPKI returns the most accurate sampled L1-I MPKI estimate: the
+// exact full-coverage ratio when available, else the window aggregate.
+func (r *SampledReport) BestL1IMPKI(agg *frontend.Stats) float64 {
+	if r.Coverage != nil && r.Coverage.Exact {
+		return r.Coverage.L1IMPKI()
+	}
+	return agg.L1IMPKI()
+}
+
+// BestBTBMPKI returns the most accurate sampled BTB MPKI estimate: the
+// exact full-coverage ratio when available, else the window aggregate.
+func (r *SampledReport) BestBTBMPKI(agg *frontend.Stats) float64 {
+	if r.Coverage != nil && r.Coverage.Exact {
+		return r.Coverage.BTBMPKI()
+	}
+	return agg.BTBMPKI()
+}
+
+// DetailReduction returns the factor by which detailed simulation
+// shrank against exact mode (exact details warm-up plus the whole
+// measure region).
+func (r *SampledReport) DetailReduction() float64 {
+	if r.DetailedInstructions == 0 {
+		return 0
+	}
+	return float64(r.WarmupInstr+r.FastForwardInstructions+r.DetailedInstructions) /
+		float64(r.DetailedInstructions)
+}
+
+// buildSampledReport derives the estimate columns from the window list.
+func buildSampledReport(sp core.Sampling, warmup uint64, reused bool, windows []frontend.Stats, cov *core.Coverage) *SampledReport {
+	rep := &SampledReport{
+		Sampling:             sp,
+		WarmupInstr:          warmup,
+		DetailedInstructions: sp.DetailedInstr(),
+		SnapshotReused:       reused,
+		Windows:              windows,
+		Coverage:             cov,
+	}
+	// Fast-forwarded instructions within the measure region only; the
+	// warm-up phase is accounted separately in WarmupInstr so
+	// DetailReduction does not count it twice.
+	rep.FastForwardInstructions = sp.TotalInstr() - sp.DetailedInstr()
+	ipc := make([]float64, len(windows))
+	l1i := make([]float64, len(windows))
+	btb := make([]float64, len(windows))
+	for i := range windows {
+		ipc[i] = windows[i].IPC()
+		l1i[i] = windows[i].L1IMPKI()
+		btb[i] = windows[i].BTBMPKI()
+	}
+	rep.IPC = stats.NewEstimate(ipc)
+	rep.L1IMPKI = stats.NewEstimate(l1i)
+	rep.BTBMPKI = stats.NewEstimate(btb)
+	return rep
+}
+
+// RunSampledSystem executes sampled measurement on a freshly assembled
+// system: warm-up by snapshot restore when snapStore holds snapKey,
+// otherwise by functional fast-forward (capturing and storing the
+// snapshot for the next run sharing the key), then windowed measurement
+// per sp. Pass a nil snapStore or empty snapKey to skip snapshotting.
+// The returned aggregate is the in-order sum of window deltas — the
+// sampled estimate of what exact mode's measure region would report.
+func RunSampledSystem(ctx context.Context, sys *core.System, warmup uint64, sp core.Sampling, snapStore *store.Store, snapKey string) (*frontend.Stats, []*frontend.Stats, *SampledReport, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if !sp.Enabled() {
+		return nil, nil, nil, fmt.Errorf("experiments: RunSampledSystem with zero Sampling")
+	}
+	useSnap := snapStore != nil && snapKey != "" && warmup > 0 && sys.SnapshotSupported()
+	reused := false
+	if useSnap {
+		if payload, hit := snapStore.Get(snapKey); hit {
+			// A restore error is fatal, not a miss: restore mutates the
+			// system in place, so falling back to live warm-up after a
+			// partial restore would measure a chimera.
+			if err := sys.RestoreWarmSnapshot(ctx, payload); err != nil {
+				return nil, nil, nil, err
+			}
+			reused = true
+		}
+	}
+	if !reused && warmup > 0 {
+		if err := sys.FastForward(ctx, warmup); err != nil {
+			return nil, nil, nil, err
+		}
+		if useSnap {
+			if payload, err := sys.WarmSnapshot(); err == nil {
+				snapStore.Put(snapKey, payload) // best-effort: warm-up is in hand
+			}
+		}
+	}
+	agg, windows, perCore, cov, err := sys.RunSampled(ctx, sp)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return agg, perCore, buildSampledReport(sp, warmup, reused, windows, cov), nil
+}
+
+// SampledComparison is one cell run both ways: the exact measurement
+// (the golden anchor) against the sampled estimate of the same region,
+// with relative errors and the detailed-instruction reduction factor.
+type SampledComparison struct {
+	Mix    string
+	Design string
+
+	Exact   *frontend.Stats
+	Sampled *frontend.Stats
+	Report  *SampledReport
+
+	IPCErrPct float64
+	L1IErrPct float64
+	BTBErrPct float64
+}
+
+// errPct is the relative error in percent, degrading gracefully at an
+// exact value of zero (both zero agree perfectly; otherwise the error is
+// unbounded and pinned at 100).
+func errPct(sampled, exact float64) float64 {
+	if exact == 0 {
+		if sampled == 0 {
+			return 0
+		}
+		return 100
+	}
+	d := (sampled - exact) / exact * 100
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// CompareSampled runs one (mix, design, options) cell exact and sampled
+// on two independently assembled systems and reports the sampling error.
+// This is the primitive behind the tolerance tests and the sample-smoke
+// CI gate.
+func CompareSampled(ctx context.Context, mix []*synth.Workload, dp core.DesignPoint, opt core.Options, warmup, measure uint64, sp core.Sampling) (*SampledComparison, error) {
+	exactSys, err := core.NewMixSystem(mix, dp, opt)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := exactSys.RunCtx(ctx, warmup, measure)
+	exactSys.Close()
+	if err != nil {
+		return nil, err
+	}
+	sampSys, err := core.NewMixSystem(mix, dp, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer sampSys.Close()
+	sampled, _, rep, err := RunSampledSystem(ctx, sampSys, warmup, sp, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	// MPKI errors judge the estimate sampled mode would report: the exact
+	// full-coverage ratio for prefetcherless designs, the window aggregate
+	// otherwise.
+	return &SampledComparison{
+		Mix:       MixName(mix),
+		Design:    dp.String(),
+		Exact:     exact,
+		Sampled:   sampled,
+		Report:    rep,
+		IPCErrPct: errPct(sampled.IPC(), exact.IPC()),
+		L1IErrPct: errPct(rep.BestL1IMPKI(sampled), exact.L1IMPKI()),
+		BTBErrPct: errPct(rep.BestBTBMPKI(sampled), exact.BTBMPKI()),
+	}, nil
+}
+
+// SampledTable formats sampled estimates with their confidence
+// intervals next to the exact anchors — the "reported alongside exact
+// numbers" artifact of sampled mode.
+func SampledTable(comps []*SampledComparison) *stats.Table {
+	t := stats.NewTable("Sampled vs exact (mean ±95% CI)",
+		"Mix", "Design", "exactIPC", "sampledIPC", "errIPC%", "exactL1I", "sampledL1I", "errL1I%", "detailx")
+	for _, c := range comps {
+		t.Row(c.Mix, c.Design,
+			fmt.Sprintf("%.3f", c.Exact.IPC()),
+			c.Report.IPC.String(),
+			fmt.Sprintf("%.2f", c.IPCErrPct),
+			fmt.Sprintf("%.2f", c.Exact.L1IMPKI()),
+			c.Report.L1IMPKI.String(),
+			fmt.Sprintf("%.2f", c.L1IErrPct),
+			fmt.Sprintf("%.1f", c.Report.DetailReduction()))
+	}
+	return t
+}

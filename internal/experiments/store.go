@@ -42,6 +42,19 @@ type cellKeyMaterial struct {
 	Profiles  []synth.Profile `json:"profiles"`
 	TraceDirs []traceDirKey   `json:"trace_dirs,omitempty"`
 	Options   optionsKey      `json:"options"`
+	// Sampling is nil for exact runs, so every pre-sampling key is
+	// byte-stable; a sampled run is a different cell than the exact run
+	// of the same configuration.
+	Sampling *samplingKey `json:"sampling,omitempty"`
+}
+
+// samplingKey is the sampled-execution plan as key material.
+type samplingKey struct {
+	WindowInstr       uint64 `json:"window_instr"`
+	PeriodInstr       uint64 `json:"period_instr"`
+	Windows           int    `json:"windows"`
+	WindowWarmupInstr uint64 `json:"window_warmup_instr,omitempty"`
+	JitterSeed        uint64 `json:"jitter_seed,omitempty"`
 }
 
 // traceDirKey identifies one mix slot's replay capture.
@@ -77,6 +90,13 @@ type optionsKey struct {
 // override (arbitrary code feeds the cores) or an unreadable capture
 // directory — in which case the caller skips the store entirely.
 func CellStoreKey(warmup, measure uint64, mix []*synth.Workload, traceDir string, dp core.DesignPoint, opt core.Options) (string, bool) {
+	return CellStoreKeySampled(warmup, measure, mix, traceDir, dp, opt, core.Sampling{})
+}
+
+// CellStoreKeySampled is CellStoreKey for a sampled cell: the sampling
+// plan joins the key material (a zero plan reproduces CellStoreKey's
+// exact-mode keys byte for byte).
+func CellStoreKeySampled(warmup, measure uint64, mix []*synth.Workload, traceDir string, dp core.DesignPoint, opt core.Options, sp core.Sampling) (string, bool) {
 	if opt.Sources != nil {
 		return "", false
 	}
@@ -96,6 +116,15 @@ func CellStoreKey(warmup, measure uint64, mix []*synth.Workload, traceDir string
 			HistoryPerCore:  opt.HistoryPerCore,
 			EpochBlocks:     max(opt.EpochBlocks, 1),
 		},
+	}
+	if sp.Enabled() {
+		m.Sampling = &samplingKey{
+			WindowInstr:       sp.WindowInstr,
+			PeriodInstr:       sp.PeriodInstr,
+			Windows:           sp.Windows,
+			WindowWarmupInstr: sp.WindowWarmupInstr,
+			JitterSeed:        sp.JitterSeed,
+		}
 	}
 	for i, w := range mix {
 		m.Profiles[i] = w.Prof
@@ -146,6 +175,9 @@ type StoreEntry struct {
 	PerCore      []*frontend.Stats `json:"per_core"`
 	OverheadMM2  float64           `json:"overhead_mm2"`
 	RelativeArea float64           `json:"relative_area"`
+	// Sampled carries the sampling report of a sampled cell (nil for
+	// exact runs, and absent from their serialized form).
+	Sampled *SampledReport `json:"sampled,omitempty"`
 }
 
 // EncodeStoreEntry serializes a cell result for Store.Put.

@@ -1,0 +1,46 @@
+package flatmap
+
+import "fmt"
+
+// MapState is the serializable fixed-shape state of a Map, captured for
+// warm-up snapshots. The raw arrays are exported verbatim rather than
+// rebuilt by re-insertion: slot layout depends on insertion order (probe
+// chains), and a bit-identical restore must preserve it so later
+// Keys/Slot walks visit entries in the same order as the live table.
+// The parallel values slice travels separately (see ExportState), so
+// owners of unexported value types can convert them for serialization.
+type MapState struct {
+	Keys []uint64
+	Live []uint64
+	N    int
+	Mask uint64
+}
+
+// ExportState deep-copies the table's state; the returned values slice
+// is parallel to State.Keys (one entry per slot, live per State.Live).
+func (m *Map[V]) ExportState() (MapState, []V) {
+	return MapState{
+		Keys: append([]uint64(nil), m.keys...),
+		Live: append([]uint64(nil), m.live...),
+		N:    m.n,
+		Mask: m.mask,
+	}, append([]V(nil), m.vals...)
+}
+
+// RestoreState overwrites the table's contents from a snapshot. The
+// snapshot's slot count must match the table's (both are fixed by the
+// construction-time capacity hint, which the snapshot key pins).
+func (m *Map[V]) RestoreState(st MapState, vals []V) error {
+	if len(st.Keys) != len(m.keys) || st.Mask != m.mask {
+		return fmt.Errorf("flatmap: snapshot has %d slots, table has %d", len(st.Keys), len(m.keys))
+	}
+	if len(vals) != len(m.vals) || len(st.Live) != len(m.live) {
+		return fmt.Errorf("flatmap: snapshot arrays malformed")
+	}
+	copy(m.keys, st.Keys)
+	copy(m.vals, vals)
+	copy(m.live, st.Live)
+	m.n = st.N
+	m.lastOK = false
+	return nil
+}

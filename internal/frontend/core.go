@@ -112,6 +112,10 @@ type Core struct {
 	hasLast   bool
 	steps     uint64 // for periodic in-flight table scrubbing
 
+	// ffCt holds the fast-forward probe tallies (fast.go); not part of st,
+	// and kept out of the hot cluster above — only FastStep touches it.
+	ffCt FFCounts
+
 	// Address-space tag forms (from cfg.ASID): asBase ORs into addresses
 	// crossing into the shared LLC, keyTag into block keys recorded to the
 	// shared history. Both are zero outside heterogeneous mixes.
@@ -455,6 +459,15 @@ func (c *Core) access(now float64, b isa.Addr) float64 {
 // fill installs a block in the L1-I, mirroring the change into the BTB
 // design (Confluence's synchronization; other designs ignore the hooks).
 func (c *Core) fill(now float64, b isa.Addr, demand bool) {
+	c.fillQuiet(now, b, demand)
+	if c.cfg.BTB != nil {
+		c.st.L1IFills++
+	}
+}
+
+// fillQuiet is fill without the stat counter — the shared install path
+// FastStep also drives (fast-forward moves no counters).
+func (c *Core) fillQuiet(now float64, b isa.Addr, demand bool) {
 	evicted, was := c.l1i.Insert(blockKey(b))
 	d := c.cfg.BTB
 	if d == nil {
@@ -468,7 +481,6 @@ func (c *Core) fill(now float64, b isa.Addr, demand bool) {
 		branches = c.cfg.Prog.PredecodeBlock(b)
 	}
 	d.BlockFilled(now, b, branches, demand)
-	c.st.L1IFills++
 }
 
 // schedule registers prefetch requests with the fill pipeline.

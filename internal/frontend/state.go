@@ -1,0 +1,83 @@
+package frontend
+
+import (
+	"fmt"
+
+	"confluence/internal/bpu"
+	"confluence/internal/cache"
+)
+
+// CoreWarmState is the serializable per-core warm-up state: everything a
+// functionally fast-forwarded core carries into its first measurement
+// window. The BTB field is design-specific (one of the design packages'
+// exported state types, gob-registered by internal/core); the system
+// snapshot layer fills and restores it because only it knows the wired
+// design — the frontend handles the design-independent remainder.
+//
+// The in-flight fill table is not captured: warm-up runs purely through
+// FastStep, which issues no prefetches, so the table is empty at the
+// snapshot boundary (restore clears it to match). Stats are not captured
+// either — fast-forward moves no counters and the measurement boundary
+// resets them regardless.
+type CoreWarmState struct {
+	Cycle     float64
+	Steps     uint64
+	LastBlock uint64
+	HasLast   bool
+
+	Hybrid bpu.HybridState
+	RAS    bpu.RASState
+	ITC    bpu.ITCState
+
+	L1I *cache.CacheState // nil under PerfectL1I
+
+	BTB any // design-specific state, managed by internal/core
+}
+
+// ExportWarmState captures the core's design-independent warm state.
+// The caller (internal/core) fills the BTB field.
+func (c *Core) ExportWarmState() CoreWarmState {
+	st := CoreWarmState{
+		Cycle:     c.cycle,
+		Steps:     c.steps,
+		LastBlock: c.lastBlock,
+		HasLast:   c.hasLast,
+		Hybrid:    c.hybrid.ExportState(),
+		RAS:       c.ras.ExportState(),
+		ITC:       c.itc.ExportState(),
+	}
+	if c.l1i != nil {
+		l1i := c.l1i.ExportState()
+		st.L1I = &l1i
+	}
+	return st
+}
+
+// RestoreWarmState overwrites the core's design-independent warm state
+// from a snapshot; the caller restores the BTB field into the wired
+// design. Configuration geometry must match (snapshot keys pin it).
+func (c *Core) RestoreWarmState(st CoreWarmState) error {
+	if (c.l1i == nil) != (st.L1I == nil) {
+		return fmt.Errorf("frontend: snapshot L1-I presence does not match core config")
+	}
+	if err := c.hybrid.RestoreState(st.Hybrid); err != nil {
+		return err
+	}
+	if err := c.ras.RestoreState(st.RAS); err != nil {
+		return err
+	}
+	if err := c.itc.RestoreState(st.ITC); err != nil {
+		return err
+	}
+	if c.l1i != nil {
+		if err := c.l1i.RestoreState(*st.L1I); err != nil {
+			return err
+		}
+		c.inflight.Clear()
+	}
+	c.cycle = st.Cycle
+	c.steps = st.Steps
+	c.lastBlock = st.LastBlock
+	c.hasLast = st.HasLast
+	return nil
+}

@@ -72,6 +72,41 @@ func (s *Stats) perKilo(n uint64) float64 {
 	return float64(n) / float64(s.Instructions) * 1000
 }
 
+// Sub removes other from s — the mirror image of Add, used by the
+// sampled mode to compute one measurement window's delta from two
+// cumulative captures. The subtraction is deterministic (same inputs,
+// same order, same result); cycle fields may carry ordinary
+// floating-point rounding relative to a window simulated in isolation,
+// which is far below the sampling error the mode already accepts.
+func (s *Stats) Sub(o *Stats) {
+	s.Instructions -= o.Instructions
+	s.Records -= o.Records
+	s.Requests -= o.Requests
+	s.Cycles -= o.Cycles
+	s.IssueCycles -= o.IssueCycles
+	s.BackendCycles -= o.BackendCycles
+	s.BubbleCycles -= o.BubbleCycles
+	s.MisfetchCycles -= o.MisfetchCycles
+	s.ResolveCycles -= o.ResolveCycles
+	s.L1IStallCycles -= o.L1IStallCycles
+	s.PredecodeCycles -= o.PredecodeCycles
+	s.CondBranches -= o.CondBranches
+	s.TakenBranches -= o.TakenBranches
+	s.BTBTakenLookups -= o.BTBTakenLookups
+	s.BTBMisses -= o.BTBMisses
+	s.DirMispredicts -= o.DirMispredicts
+	s.RASMispredicts -= o.RASMispredicts
+	s.ITCMispredicts -= o.ITCMispredicts
+	s.L1IAccesses -= o.L1IAccesses
+	s.L1IMisses -= o.L1IMisses
+	s.L1IFills -= o.L1IFills
+	s.DemandFills -= o.DemandFills
+	s.PrefIssued -= o.PrefIssued
+	s.PrefUseful -= o.PrefUseful
+	s.PrefLate -= o.PrefLate
+	s.PrefDiscarded -= o.PrefDiscarded
+}
+
 // Add accumulates other into s (multi-core aggregation).
 func (s *Stats) Add(o *Stats) {
 	s.Instructions += o.Instructions

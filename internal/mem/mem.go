@@ -169,6 +169,23 @@ func (p *BoundPort) Apply() {
 // Pending returns the number of unapplied logged accesses (tests).
 func (p *BoundPort) Pending() int { return len(p.ops) }
 
+// Warm touches the LLC with a demand for block without charging latency
+// or counters — the functional fast-forward path's view of the
+// hierarchy. Contents and replacement state evolve exactly as under
+// AccessLatency (lookup refreshes LRU, a miss installs the block); only
+// the timing and the hit/miss statistics are skipped.
+func (h *Hierarchy) Warm(block isa.Addr) {
+	if !h.llc.Lookup(key(block)) {
+		h.llc.Insert(key(block))
+	}
+}
+
+// ExportLLCState captures the LLC tag store for a warm-up snapshot.
+func (h *Hierarchy) ExportLLCState() cache.CacheState { return h.llc.ExportState() }
+
+// RestoreLLCState overwrites the LLC contents from a snapshot.
+func (h *Hierarchy) RestoreLLCState(st cache.CacheState) error { return h.llc.RestoreState(st) }
+
 // MetadataLatency returns the cost of reading virtualized predictor
 // metadata homed in the LLC from tile `core`: a mesh round trip to the bank
 // holding the metadata line plus the bank access. Metadata reads never miss

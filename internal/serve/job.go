@@ -53,6 +53,9 @@ type CellResult struct {
 	PerCore      []*frontend.Stats `json:"per_core,omitempty"`
 	OverheadMM2  float64           `json:"overhead_mm2"`
 	RelativeArea float64           `json:"relative_area"`
+	// Sampled carries the sampling report of a sampled cell (specs with
+	// the sample_* fields set); nil in exact mode.
+	Sampled *experiments.SampledReport `json:"sampled,omitempty"`
 }
 
 // Result is a finished job's payload: Cells for point/sweep jobs, MixRows
@@ -257,6 +260,7 @@ func ExecuteSpecStore(ctx context.Context, spec *confluence.JobSpec, storeDir st
 			PerCore:      r.PerCore,
 			OverheadMM2:  r.OverheadMM2,
 			RelativeArea: r.RelativeArea,
+			Sampled:      r.Sampled,
 		}
 		res.Cells[i] = cell
 		emitOne(experiments.ProgressEvent{

@@ -71,6 +71,56 @@ func WeightedSpeedup(mix, alone []float64) float64 {
 	return sum / float64(len(mix))
 }
 
+// StdDev returns the sample standard deviation of xs (Bessel-corrected,
+// n-1 denominator). Fewer than two samples have no spread estimate and
+// return 0.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// StdErr returns the standard error of the mean of xs: StdDev/sqrt(n).
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// CI95 returns the half-width of the 95% confidence interval on the mean
+// of xs, using the normal approximation (1.96 standard errors) the SMARTS
+// sampling literature uses. The interval is Mean(xs) ± CI95(xs).
+func CI95(xs []float64) float64 {
+	return 1.96 * StdErr(xs)
+}
+
+// Estimate summarizes a set of per-window samples as mean ± 95% CI — the
+// unit the sampled-simulation report carries per metric.
+type Estimate struct {
+	Mean   float64 // arithmetic mean of the samples
+	StdErr float64 // standard error of the mean
+	CI95   float64 // half-width of the 95% confidence interval
+	N      int     // number of samples
+}
+
+// NewEstimate computes the Estimate for xs.
+func NewEstimate(xs []float64) Estimate {
+	return Estimate{Mean: Mean(xs), StdErr: StdErr(xs), CI95: CI95(xs), N: len(xs)}
+}
+
+// String renders the estimate as "mean ±ci" with three decimals.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.3f ±%.3f", e.Mean, e.CI95)
+}
+
 // Coverage returns the percentage of baseline events eliminated by a
 // design: 100 * (1 - design/baseline). Negative values mean the design is
 // worse than baseline (AirBTB without an overflow buffer exhibits this in

@@ -56,6 +56,54 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestStdDevStdErrCI95(t *testing.T) {
+	// Known sample: {2,4,4,4,5,5,7,9} has mean 5 and sample stddev
+	// sqrt(32/7).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	wantSD := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-wantSD) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, wantSD)
+	}
+	wantSE := wantSD / math.Sqrt(8)
+	if got := StdErr(xs); math.Abs(got-wantSE) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", got, wantSE)
+	}
+	if got := CI95(xs); math.Abs(got-1.96*wantSE) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", got, 1.96*wantSE)
+	}
+	// Degenerate inputs: no spread estimate from fewer than two samples.
+	for _, xs := range [][]float64{nil, {}, {3}} {
+		if StdDev(xs) != 0 || StdErr(xs) != 0 || CI95(xs) != 0 {
+			t.Errorf("spread of %v samples must be 0", len(xs))
+		}
+	}
+	// Constant samples have zero spread.
+	if StdDev([]float64{4, 4, 4}) != 0 {
+		t.Error("constant samples must have zero stddev")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	e := NewEstimate(xs)
+	if e.Mean != 3 || e.N != 5 {
+		t.Errorf("Estimate mean/N = %v/%v", e.Mean, e.N)
+	}
+	if math.Abs(e.CI95-1.96*e.StdErr) > 1e-12 {
+		t.Errorf("CI95 %v inconsistent with StdErr %v", e.CI95, e.StdErr)
+	}
+	if got := e.String(); !strings.Contains(got, "3.000") || !strings.Contains(got, "±") {
+		t.Errorf("Estimate.String = %q", got)
+	}
+	// CI shrinks as ~1/sqrt(n): doubling the sample at the same spread
+	// must not widen the interval.
+	wide := NewEstimate([]float64{1, 5})
+	narrow := NewEstimate([]float64{1, 5, 1, 5})
+	if narrow.CI95 >= wide.CI95 {
+		t.Errorf("CI95 must shrink with n: %v vs %v", narrow.CI95, wide.CI95)
+	}
+}
+
 func TestCoverage(t *testing.T) {
 	if got := Coverage(40, 4); math.Abs(got-90) > 1e-9 {
 		t.Errorf("Coverage(40,4) = %v", got)

@@ -67,6 +67,14 @@ type JobSpec struct {
 	IntraParallelism int `json:"intra_parallelism,omitempty"`
 	EpochBlocks      int `json:"epoch_blocks,omitempty"`
 
+	// Sampled execution (Config.Sampling semantics): the fields map
+	// onto the Sampling plan field for field; all zero runs exact.
+	SampleWindowInstr       uint64 `json:"sample_window_instr,omitempty"`
+	SamplePeriodInstr       uint64 `json:"sample_period_instr,omitempty"`
+	SampleWindows           int    `json:"sample_windows,omitempty"`
+	SampleWindowWarmupInstr uint64 `json:"sample_window_warmup_instr,omitempty"`
+	SampleJitterSeed        uint64 `json:"sample_jitter_seed,omitempty"`
+
 	// Priority orders the serving layer's job queue (higher runs first,
 	// FIFO within a priority). Direct execution ignores it.
 	Priority int `json:"priority,omitempty"`
@@ -142,6 +150,12 @@ func (s *JobSpec) Validate() error {
 	if s.Cores < 0 || s.Parallelism < 0 || s.IntraParallelism < 0 || s.EpochBlocks < 0 {
 		return bad("cores/parallelism/intra_parallelism/epoch_blocks must be non-negative")
 	}
+	if s.SampleWindows < 0 {
+		return bad("sample_windows must be non-negative")
+	}
+	if err := s.sampling().Validate(); err != nil {
+		return bad("%v", err)
+	}
 	if s.Profile != nil && (s.Profile.Functions < 0 || s.Profile.RequestTypes < 0 || s.Profile.Concurrency < 0) {
 		return bad("profile overrides must be non-negative")
 	}
@@ -206,6 +220,17 @@ func (s *JobSpec) buildWorkload(name string) (*Workload, error) {
 	return synth.Build(prof)
 }
 
+// sampling assembles the spec's sampled-execution plan (zero = exact).
+func (s *JobSpec) sampling() Sampling {
+	return Sampling{
+		WindowInstr:       s.SampleWindowInstr,
+		PeriodInstr:       s.SamplePeriodInstr,
+		Windows:           s.SampleWindows,
+		WindowWarmupInstr: s.SampleWindowWarmupInstr,
+		JitterSeed:        s.SampleJitterSeed,
+	}
+}
+
 // baseConfig maps the spec's simulation-shape fields onto a Config
 // (workloads and design still unset).
 func (s *JobSpec) baseConfig() Config {
@@ -218,6 +243,7 @@ func (s *JobSpec) baseConfig() Config {
 		Parallelism:      s.Parallelism,
 		IntraParallelism: s.IntraParallelism,
 		EpochBlocks:      s.EpochBlocks,
+		Sampling:         s.sampling(),
 	}
 }
 
@@ -348,15 +374,20 @@ func SpecFromConfig(cfg Config) (*JobSpec, error) {
 		return nil, fmt.Errorf("confluence: config with custom Options is not expressible as a JobSpec")
 	}
 	s := &JobSpec{
-		Design:           cfg.Design.String(),
-		TraceDir:         cfg.TraceDir,
-		Cores:            cfg.Cores,
-		WarmupInstr:      cfg.WarmupInstr,
-		MeasureInstr:     cfg.MeasureInstr,
-		NoWarmup:         cfg.NoWarmup,
-		Parallelism:      cfg.Parallelism,
-		IntraParallelism: cfg.IntraParallelism,
-		EpochBlocks:      cfg.EpochBlocks,
+		Design:                  cfg.Design.String(),
+		TraceDir:                cfg.TraceDir,
+		Cores:                   cfg.Cores,
+		WarmupInstr:             cfg.WarmupInstr,
+		MeasureInstr:            cfg.MeasureInstr,
+		NoWarmup:                cfg.NoWarmup,
+		Parallelism:             cfg.Parallelism,
+		IntraParallelism:        cfg.IntraParallelism,
+		EpochBlocks:             cfg.EpochBlocks,
+		SampleWindowInstr:       cfg.Sampling.WindowInstr,
+		SamplePeriodInstr:       cfg.Sampling.PeriodInstr,
+		SampleWindows:           cfg.Sampling.Windows,
+		SampleWindowWarmupInstr: cfg.Sampling.WindowWarmupInstr,
+		SampleJitterSeed:        cfg.Sampling.JitterSeed,
 	}
 	describe := func(w *Workload) (string, *ProfileTweak, error) {
 		name := w.Prof.Name

@@ -199,6 +199,61 @@ func TestSpecFromConfigRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSpecSamplingRoundTrip pins the sampled-execution plan through the
+// full serving path: Config → JobSpec → JSON → JobSpec → Config must
+// preserve every Sampling field (a dropped field would silently run a
+// different — or exact — plan on a remote worker).
+func TestSpecSamplingRoundTrip(t *testing.T) {
+	w, err := BuildWorkload("OLTP-DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workload: w, Design: Confluence, Cores: 2,
+		WarmupInstr: 30_000, MeasureInstr: 60_000,
+		Sampling: Sampling{
+			WindowInstr: 500, PeriodInstr: 6000, Windows: 10,
+			WindowWarmupInstr: 250, JitterSeed: 7,
+		},
+	}
+	spec, err := SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sample_window_instr", "sample_period_instr", "sample_windows", "sample_window_warmup_instr", "sample_jitter_seed"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshalled spec missing %q:\n%s", want, data)
+		}
+	}
+	parsed, err := ParseJobSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsed.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sampling != cfg.Sampling {
+		t.Errorf("round-tripped sampling plan differs: %+v vs %+v", back.Sampling, cfg.Sampling)
+	}
+	// The exact plan must stay exactly representable: no sample_* keys.
+	cfg.Sampling = Sampling{}
+	spec, err = SpecFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err = json.Marshal(spec); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "sample_") {
+		t.Errorf("exact-mode spec leaks sample_* fields:\n%s", data)
+	}
+}
+
 // TestSpecFromConfigTraceOnly is the regression test for trace-wrapper
 // configs: a Workload built by WorkloadFromTrace has a synthetic
 // "trace:<dir>" profile that is not a named profile, so SpecFromConfig
